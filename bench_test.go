@@ -1,0 +1,345 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablations of the design choices DESIGN.md calls
+// out. Custom metrics carry the reproduced numbers:
+//
+//	go test -bench=. -benchmem
+//
+// Table/figure benches report the regenerated values (ratios as "x_iso",
+// bounds as "cycles"); ablation benches report the bound each variant
+// produces so the cost of dropping information is visible in the output.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tricore"
+	"repro/internal/workload"
+)
+
+var benchLat = platform.TC27xLatencies()
+
+// BenchmarkTable2Calibration regenerates Table 2: per-target maximum
+// latencies and minimum stall cycles via calibration microbenchmarks.
+func BenchmarkTable2Calibration(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CalibrateTable2(benchLat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.CsCo >= 0 {
+			b.ReportMetric(float64(r.CsCo), fmt.Sprintf("cs_%s_co", r.Target))
+		}
+		if r.CsDa >= 0 {
+			b.ReportMetric(float64(r.CsDa), fmt.Sprintf("cs_%s_da", r.Target))
+		}
+	}
+}
+
+// BenchmarkTable3Validation regenerates Table 3: the architectural
+// placement-constraint matrix, measured as the cost of validating a full
+// deployment against it.
+func BenchmarkTable3Validation(b *testing.B) {
+	allowed := 0
+	for i := 0; i < b.N; i++ {
+		allowed = 0
+		for _, o := range platform.Ops {
+			for _, t := range platform.Targets {
+				for _, c := range []bool{true, false} {
+					if platform.ValidatePlacement(o, platform.Placement{Target: t, Cacheable: c}) == nil {
+						allowed++
+					}
+				}
+			}
+		}
+	}
+	// Table 3 has 11 allowed cells out of 16 (code never on dfl, data
+	// only cacheable in pflash, never cacheable on dfl).
+	b.ReportMetric(float64(allowed), "allowed_cells")
+}
+
+// benchReadings are fixed Scenario-1-consistent readings used by the
+// model-construction benchmarks (5+5 code requests to pf0/pf1 per kilocycle
+// scale, 10 lmu data requests — the same shape the simulator produces).
+func benchReadings(scale int64) (a, c dsu.Readings) {
+	a = dsu.Readings{CCNT: 1000 * scale, PM: 10 * scale, PS: 60 * scale, DS: 100 * scale}
+	c = dsu.Readings{CCNT: 1000 * scale, PM: 8 * scale, PS: 48 * scale, DS: 70 * scale}
+	return a, c
+}
+
+// BenchmarkTable5Tailoring regenerates Table 5: constructing and solving
+// the tailored ILP-PTAC model for both scenarios.
+func BenchmarkTable5Tailoring(b *testing.B) {
+	for _, sc := range []core.Scenario{core.Scenario1(), core.Scenario2()} {
+		b.Run(sc.Name, func(b *testing.B) {
+			a, c := benchReadings(100)
+			if sc.CacheableDataFloor {
+				a.DMC, c.DMC = 500, 300
+			}
+			in := core.Input{A: a, B: []dsu.Readings{c}, Lat: &benchLat, Scenario: sc}
+			var est core.Estimate
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = core.ILPPTAC(in, core.PTACOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(est.ContentionCycles), "bound_cycles")
+		})
+	}
+}
+
+// BenchmarkTable6Counters regenerates Table 6: the debug-counter readings
+// of the application and the H-Load contender under both scenarios.
+func BenchmarkTable6Counters(b *testing.B) {
+	for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
+		b.Run(fmt.Sprintf("scenario%d", sc), func(b *testing.B) {
+			var app dsu.Readings
+			for i := 0; i < b.N; i++ {
+				var err error
+				app, _, err = experiments.Table6Readings(benchLat, sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(app.PM), "app_PM")
+			b.ReportMetric(float64(app.PS), "app_PS")
+			b.ReportMetric(float64(app.DS), "app_DS")
+			b.ReportMetric(float64(app.DMD), "app_DMD")
+		})
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4 cell by cell: observed slowdown and
+// both model predictions, normalised to isolation, per scenario and
+// contender load.
+func BenchmarkFigure4(b *testing.B) {
+	rows, err := experiments.Figure4(benchLat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, row := range rows {
+		row := row
+		b.Run(fmt.Sprintf("scenario%d/%s", row.Scenario, row.Level), func(b *testing.B) {
+			var g experiments.Figure4Row
+			for i := 0; i < b.N; i++ {
+				g, err = experiments.Figure4Cell(benchLat, row.Scenario, row.Level)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(g.ObservedRatio(), "observed_x")
+			b.ReportMetric(g.ILP.Ratio(), "ilp_x")
+			b.ReportMetric(g.FTC.Ratio(), "ftc_x")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md "Design choices worth ablating") ---
+
+// BenchmarkAblationStallMode compares the paper's literal equality stall
+// decomposition (Eq. 20-23) against the always-sound budget relaxation on
+// simulator-consistent readings: the bounds must coincide, the equality
+// variant costing slightly more solve time.
+func BenchmarkAblationStallMode(b *testing.B) {
+	a, c := benchReadings(50)
+	in := core.Input{A: a, B: []dsu.Readings{c}, Lat: &benchLat, Scenario: core.Scenario1()}
+	for _, mode := range []core.StallMode{core.StallBudget, core.StallExact} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var est core.Estimate
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = core.ILPPTAC(in, core.PTACOptions{StallMode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(est.ContentionCycles), "bound_cycles")
+		})
+	}
+}
+
+// BenchmarkAblationContenderInfo quantifies the value of the contender
+// constraints (Eq. 22-23): dropping them makes the ILP fully
+// time-composable and visibly looser (§3.5).
+func BenchmarkAblationContenderInfo(b *testing.B) {
+	a, c := benchReadings(50)
+	// A light contender makes the information gap large.
+	c.PM, c.PS, c.DS = c.PM/4, c.PS/4, c.DS/4
+	in := core.Input{A: a, B: []dsu.Readings{c}, Lat: &benchLat, Scenario: core.Scenario1()}
+	for _, drop := range []bool{false, true} {
+		name := "with-contender-info"
+		if drop {
+			name = "fully-time-composable"
+		}
+		b.Run(name, func(b *testing.B) {
+			var est core.Estimate
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = core.ILPPTAC(in, core.PTACOptions{DropContenderInfo: drop})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(est.ContentionCycles), "bound_cycles")
+		})
+	}
+}
+
+// BenchmarkAblationScenarioTailoring quantifies the value of the Table 5
+// counter constraints: the generic deployment-only scenario against the
+// fully tailored one. The readings follow the real-hardware shape of the
+// paper's Table 6 — per-request stalls well above the Table 2 minima — so
+// that the stall budget alone wildly over-counts code requests and the
+// PCACHE_MISS equality has something to correct.
+func BenchmarkAblationScenarioTailoring(b *testing.B) {
+	a := dsu.Readings{CCNT: 500000, PM: 1000, PS: 14500, DS: 50000}
+	c := dsu.Readings{CCNT: 500000, PM: 800, PS: 11600, DS: 35000}
+	scenarios := map[string]core.Scenario{
+		"tailored": core.Scenario1(),
+		"generic":  core.GenericScenario(platform.Scenario1()),
+	}
+	for _, name := range []string{"tailored", "generic"} {
+		sc := scenarios[name]
+		b.Run(name, func(b *testing.B) {
+			in := core.Input{A: a, B: []dsu.Readings{c}, Lat: &benchLat, Scenario: sc}
+			var est core.Estimate
+			for i := 0; i < b.N; i++ {
+				var err error
+				est, err = core.ILPPTAC(in, core.PTACOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(est.ContentionCycles), "bound_cycles")
+		})
+	}
+}
+
+// BenchmarkAblationFSBReduction compares the crossbar-aware fTC bound with
+// its single-bus (FSB) collapse (§4.3): the crossbar model is never looser.
+func BenchmarkAblationFSBReduction(b *testing.B) {
+	a, c := benchReadings(50)
+	in := core.Input{A: a, B: []dsu.Readings{c}, Lat: &benchLat, Scenario: core.Scenario1()}
+	b.Run("crossbar-fTC", func(b *testing.B) {
+		var est core.Estimate
+		for i := 0; i < b.N; i++ {
+			var err error
+			est, err = core.FTC(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(est.ContentionCycles), "bound_cycles")
+	})
+	b.Run("fsb-fTC", func(b *testing.B) {
+		var est core.Estimate
+		for i := 0; i < b.N; i++ {
+			var err error
+			est, err = core.FTCFSB(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(est.ContentionCycles), "bound_cycles")
+	})
+}
+
+// BenchmarkAblationMinStallDivisor compares the per-operation minimum
+// stall divisors of Eq. 2-3 (code 6, data 10 on the TC27x) against a
+// single global minimum (6): the global divisor inflates the data request
+// bound and with it the fTC contention bound.
+func BenchmarkAblationMinStallDivisor(b *testing.B) {
+	a, _ := benchReadings(50)
+	b.Run("per-operation", func(b *testing.B) {
+		var nCo, nDa int64
+		for i := 0; i < b.N; i++ {
+			nCo, nDa = core.AccessBounds(a, &benchLat)
+		}
+		bound := nCo*benchLat.MaxLatencyFor(platform.Code) + nDa*benchLat.MaxLatencyFor(platform.Data)
+		b.ReportMetric(float64(bound), "bound_cycles")
+	})
+	b.Run("global", func(b *testing.B) {
+		csMin := benchLat.MinStallFor(platform.Code) // 6, the global minimum
+		if d := benchLat.MinStallFor(platform.Data); d < csMin {
+			csMin = d
+		}
+		var nCo, nDa int64
+		for i := 0; i < b.N; i++ {
+			nCo = (a.PS + csMin - 1) / csMin
+			nDa = (a.DS + csMin - 1) / csMin
+		}
+		bound := nCo*benchLat.MaxLatencyFor(platform.Code) + nDa*benchLat.MaxLatencyFor(platform.Data)
+		b.ReportMetric(float64(bound), "bound_cycles")
+	})
+}
+
+// BenchmarkTable2PrefetchLMin regenerates the lmin column of Table 2: the
+// best-case end-to-end latency of a sequential stream with the flash
+// prefetch buffers active (paper: 12 cycles on pf vs lmax 16).
+func BenchmarkTable2PrefetchLMin(b *testing.B) {
+	var rows []experiments.Table2Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.CalibrateTable2(benchLat)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.LMinCo >= 0 {
+			b.ReportMetric(float64(r.LMinCo), fmt.Sprintf("lmin_%s_co", r.Target))
+		}
+	}
+}
+
+// BenchmarkAblationEnforcement compares the measurement-based ILP bound
+// against the knowledge-free enforcement bound (paper ref [16]) at
+// increasing contender stall quotas.
+func BenchmarkAblationEnforcement(b *testing.B) {
+	for _, quota := range []int64{600, 3000, 15000} {
+		b.Run(fmt.Sprintf("quota-%d", quota), func(b *testing.B) {
+			var bound int64
+			for i := 0; i < b.N; i++ {
+				bound = core.EnforcedContentionBound(quota, &benchLat)
+			}
+			b.ReportMetric(float64(bound), "bound_cycles")
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the substrate itself: simulated
+// cycles per second for a contended two-core run, the number that bounds
+// every experiment's wall-clock cost.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		app, err := workload.ControlLoop(workload.AppConfig{Scenario: workload.Scenario1, Core: 1, Iterations: 100})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cont, err := workload.Contender(workload.ContenderConfig{Level: workload.HLoad, Scenario: workload.Scenario1, Core: 2, Bursts: 2000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(benchLat, map[int]sim.Task{
+			1: {Kind: tricore.TC16P, Src: app},
+			2: {Kind: tricore.TC16P, Src: cont},
+		}, 1, sim.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}

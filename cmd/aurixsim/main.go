@@ -1,0 +1,149 @@
+// Command aurixsim runs workloads on the simulated AURIX TC27x and prints
+// the DSU debug-counter readings the paper's measurement protocol
+// collects, plus simulator-only ground truth (per-target access counts and
+// arbitration waits).
+//
+// Usage:
+//
+//	aurixsim -workload app -scenario 1 -iterations 300
+//	aurixsim -workload app -contender hload          # co-scheduled run
+//	aurixsim -workload mload -bursts 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tricore"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl         = flag.String("workload", "app", "workload on the analysed core: app, hload, mload, lload")
+		scenario   = flag.Int("scenario", 1, "deployment scenario (1 or 2)")
+		iterations = flag.Int("iterations", 300, "control-loop iterations for the app workload")
+		bursts     = flag.Int("bursts", 1000, "bursts for contender workloads")
+		contender  = flag.String("contender", "", "optional co-runner on core 2: hload, mload, lload")
+		record     = flag.String("record", "", "write the analysed workload's trace to this file and exit")
+		replay     = flag.String("replay", "", "run a previously recorded trace file instead of a generated workload")
+	)
+	flag.Parse()
+
+	lat := platform.TC27xLatencies()
+	sc := workload.Scenario(*scenario)
+	if err := sc.Validate(); err != nil {
+		fail(err)
+	}
+
+	var appSrc trace.Source
+	var err error
+	if *replay != "" {
+		f, ferr := os.Open(*replay)
+		if ferr != nil {
+			fail(ferr)
+		}
+		appSrc, err = trace.Decode(f)
+		f.Close()
+	} else {
+		appSrc, err = buildWorkload(*wl, sc, *iterations, *bursts, 1)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if *record != "" {
+		f, ferr := os.Create(*record)
+		if ferr != nil {
+			fail(ferr)
+		}
+		if err := trace.Encode(f, appSrc); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("trace written to %s\n", *record)
+		return
+	}
+	tasks := map[int]sim.Task{1: {Kind: tricore.TC16P, Src: appSrc}}
+
+	if *contender != "" {
+		contSrc, err := buildWorkload(*contender, sc, *iterations, *bursts, 2)
+		if err != nil {
+			fail(err)
+		}
+		tasks[2] = sim.Task{Kind: tricore.TC16P, Src: contSrc}
+	}
+
+	res, err := sim.Run(lat, tasks, 1, sim.Config{})
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("analysed core finished at cycle %d\n\n", res.Cycles)
+	cores := make([]int, 0, len(res.Readings))
+	for idx := range res.Readings {
+		cores = append(cores, idx)
+	}
+	sort.Ints(cores)
+	for _, idx := range cores {
+		printCore(idx, res)
+	}
+}
+
+func buildWorkload(name string, sc workload.Scenario, iterations, bursts, core int) (trace.Source, error) {
+	switch name {
+	case "app":
+		return workload.ControlLoop(workload.AppConfig{Scenario: sc, Core: core, Iterations: iterations})
+	case "hload":
+		return workload.Contender(workload.ContenderConfig{Level: workload.HLoad, Scenario: sc, Core: core, Bursts: bursts})
+	case "mload":
+		return workload.Contender(workload.ContenderConfig{Level: workload.MLoad, Scenario: sc, Core: core, Bursts: bursts})
+	case "lload":
+		return workload.Contender(workload.ContenderConfig{Level: workload.LLoad, Scenario: sc, Core: core, Bursts: bursts})
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want app, hload, mload or lload)", name)
+	}
+}
+
+func printCore(idx int, res sim.Result) {
+	r := res.Readings[idx]
+	fmt.Printf("core %d (done=%v)\n", idx, res.Done[idx])
+	fmt.Printf("  DSU: %v\n", r)
+	printGroundTruth(idx, res)
+	fmt.Println()
+}
+
+func printGroundTruth(idx int, res sim.Result) {
+	ptac := res.PTAC[idx]
+	if len(ptac) == 0 {
+		fmt.Println("  SRI: no traffic")
+		return
+	}
+	keys := make([]platform.TargetOp, 0, len(ptac))
+	for k := range ptac {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Target != keys[j].Target {
+			return keys[i].Target < keys[j].Target
+		}
+		return keys[i].Op < keys[j].Op
+	})
+	fmt.Printf("  SRI transactions (simulator ground truth):")
+	for _, k := range keys {
+		fmt.Printf(" %s=%d", k, ptac[k])
+	}
+	fmt.Println()
+	fmt.Printf("  arbitration wait: %d cycles\n", res.TotalWait(idx))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aurixsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command calibrate regenerates the paper's Table 2 on the simulated
+// TC27x: for every SRI target it measures, with single-access-type
+// microbenchmarks run in isolation, the end-to-end transaction latency and
+// the minimum pipeline-stall cycles per request, separately for code and
+// data operations.
+//
+// Usage:
+//
+//	calibrate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/platform"
+)
+
+func main() {
+	flag.Parse()
+	lat := platform.TC27xLatencies()
+	rows, err := experiments.CalibrateTable2(lat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Table 2: latency (max/min) and minimum stall cycles per SRI target")
+	fmt.Println("(measured on the simulator with calibration microbenchmarks; lmin with")
+	fmt.Println("the flash prefetch buffers active on a sequential stream)")
+	fmt.Println()
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s\n",
+		"target", "lmax(co)", "lmax(da)", "lmin(co)", "lmin(da)", "cs(co)", "cs(da)")
+	for _, r := range rows {
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s\n", r.Target,
+			dash(r.LCo), dash(r.LDa), dash(r.LMinCo), dash(r.LMinDa), dash(r.CsCo), dash(r.CsDa))
+	}
+	fmt.Println()
+	fmt.Println("Paper reference (Table 2): lmu lmax 11 lmin 11 cs 11/10;")
+	fmt.Println("                           pf  lmax 16 lmin 12 cs 6/11;")
+	fmt.Println("                           dfl lmax 43 lmin 43 cs -/42")
+	fmt.Printf("Dirty LMU miss latency (bracketed in the paper): %d cycles\n", platform.TC27xLMUDirtyMissLatency)
+}
+
+func dash(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,172 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated TC27x and prints them side by side
+// with the published values.
+//
+// Usage:
+//
+//	experiments              # everything
+//	experiments -only table2 # one artefact: table2, table3, table5,
+//	                         # table6, figure4, sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/platform"
+	"repro/internal/workload"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate a single artefact: table2, table3, table5, table6, figure4")
+	flag.Parse()
+
+	lat := platform.TC27xLatencies()
+	artefacts := map[string]func(platform.LatencyTable) error{
+		"table2":  table2,
+		"table3":  table3,
+		"table5":  table5,
+		"table6":  table6,
+		"figure4": figure4,
+		"sweep":   sweep,
+	}
+	if *only != "" {
+		f, ok := artefacts[*only]
+		if !ok {
+			fail(fmt.Errorf("unknown artefact %q", *only))
+		}
+		if err := f(lat); err != nil {
+			fail(err)
+		}
+		return
+	}
+	for _, name := range []string{"table2", "table3", "table5", "table6", "figure4", "sweep"} {
+		if err := artefacts[name](lat); err != nil {
+			fail(err)
+		}
+		fmt.Println()
+	}
+}
+
+func table2(lat platform.LatencyTable) error {
+	rows, err := experiments.CalibrateTable2(lat)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table 2: per-target latency and minimum stall cycles ==")
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "target", "lmax(co)", "lmax(da)", "cs(co)", "cs(da)")
+	for _, r := range rows {
+		fmt.Printf("%-8s %10s %10s %10s %10s\n", r.Target, dash(r.LCo), dash(r.LDa), dash(r.CsCo), dash(r.CsDa))
+	}
+	fmt.Println("paper:   lmu 11/11 cs 11/10 | pf 16/16 cs 6/11 | dfl -/43 cs -/42")
+	return nil
+}
+
+func table3(platform.LatencyTable) error {
+	fmt.Println("== Table 3: architectural constraints on code/data placement ==")
+	fmt.Printf("%-10s %-6s %-6s %-6s %-6s\n", "", "pf0", "pf1", "dfl", "lmu")
+	for _, row := range []struct {
+		name      string
+		op        platform.Op
+		cacheable bool
+	}{
+		{"code $", platform.Code, true},
+		{"code n$", platform.Code, false},
+		{"data $", platform.Data, true},
+		{"data n$", platform.Data, false},
+	} {
+		fmt.Printf("%-10s", row.name)
+		for _, t := range platform.Targets {
+			mark := "ok"
+			if err := platform.ValidatePlacement(row.op, platform.Placement{Target: t, Cacheable: row.cacheable}); err != nil {
+				mark = "no"
+			}
+			fmt.Printf(" %-6s", mark)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func table5(platform.LatencyTable) error {
+	fmt.Println("== Table 5: ILP-PTAC tailoring per scenario ==")
+	for _, sc := range []core.Scenario{core.Scenario1(), core.Scenario2()} {
+		fmt.Printf("%s: deploy=%v\n", sc.Name, sc.Deploy)
+		fmt.Printf("  pinned to zero:")
+		for _, to := range platform.AccessPairs() {
+			if !sc.Deploy.MayAccess(to.Target, to.Op) {
+				fmt.Printf(" n[%s]=0", to)
+			}
+		}
+		fmt.Println()
+		if sc.CodeCountExact {
+			fmt.Println("  sum of code PTACs = PCACHE_MISS (exact)")
+		}
+		if sc.CacheableDataFloor {
+			fmt.Println("  sum of data PTACs >= DCACHE_MISS_CLEAN + DCACHE_MISS_DIRTY")
+		}
+	}
+	return nil
+}
+
+func table6(lat platform.LatencyTable) error {
+	fmt.Println("== Table 6: debug-counter readings (app on core 1, H-Load on core 2) ==")
+	fmt.Printf("%-4s %-7s %10s %8s %8s %10s %10s\n", "", "", "PM", "DMC", "DMD", "PS", "DS")
+	for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
+		app, cont, err := experiments.Table6Readings(lat, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Sc%-3d %-6s %10d %8d %8d %10d %10d\n", sc, "Core1", app.PM, app.DMC, app.DMD, app.PS, app.DS)
+		fmt.Printf("%-4s %-6s %10d %8d %8d %10d %10d\n", "", "Core2", cont.PM, cont.DMC, cont.DMD, cont.PS, cont.DS)
+	}
+	fmt.Println("paper shape: DMD = 0 everywhere; DMC = 0 in Sc1, > 0 in Sc2")
+	return nil
+}
+
+func figure4(lat platform.LatencyTable) error {
+	rows, err := experiments.Figure4(lat)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Figure 4: model predictions w.r.t. execution in isolation ==")
+	fmt.Printf("%-4s %-8s %10s %10s %10s %10s\n", "", "", "observed", "ILP-PTAC", "fTC", "true wait")
+	for _, r := range rows {
+		fmt.Printf("Sc%-3d %-8s %9.3fx %9.3fx %9.3fx %10d\n",
+			r.Scenario, r.Level, r.ObservedRatio(), r.ILP.Ratio(), r.FTC.Ratio(), r.TrueContention)
+	}
+	fmt.Println()
+	for _, ref := range experiments.PaperFigure4Values {
+		fmt.Printf("paper Sc%d: ILP %.2f-%.2f (L to H), fTC %.2f\n", ref.Scenario, ref.ILPLow, ref.ILPHigh, ref.FTC)
+	}
+	return nil
+}
+
+func sweep(lat platform.LatencyTable) error {
+	points, err := experiments.Sweep(lat, experiments.AppIterations)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Design-space sweep (pre-integration, isolation measurements only) ==")
+	fmt.Printf("%-10s %-8s %12s %12s %12s\n", "deploy", "co-load", "isolation", "ILP WCET", "fTC WCET")
+	for _, p := range points {
+		fmt.Printf("scenario%-2d %-8s %12d %12d %12d\n",
+			p.Scenario, p.Level, p.IsolationCycles, p.ILP.WCET(), p.FTC.WCET())
+	}
+	return nil
+}
+
+func dash(v int64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

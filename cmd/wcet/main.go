@@ -1,0 +1,127 @@
+// Command wcet computes contention-aware WCET estimates from debug-counter
+// readings, exactly as an integrator would at a pre-integration design
+// stage: feed it the isolation measurements of the task under analysis and
+// of its contenders, get back the fTC and ILP-PTAC bounds.
+//
+// Input is JSON on stdin (or -in file):
+//
+//	{
+//	  "scenario": 1,
+//	  "analysed":   {"CCNT": 157800, "PS": 18000, "DS": 27000, "PM": 3000},
+//	  "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
+//	}
+//
+// Output is JSON on stdout with both estimates. Exit status 1 on invalid
+// input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/platform"
+)
+
+type request struct {
+	Scenario   int            `json:"scenario"`
+	Analysed   dsu.Readings   `json:"analysed"`
+	Contenders []dsu.Readings `json:"contenders"`
+	// StallMode is "budget" (default) or "exact".
+	StallMode string `json:"stallMode,omitempty"`
+	// DropContenderInfo computes the fully time-composable ILP variant.
+	DropContenderInfo bool `json:"dropContenderInfo,omitempty"`
+}
+
+type estimateOut struct {
+	Model            string  `json:"model"`
+	IsolationCycles  int64   `json:"isolationCycles"`
+	ContentionCycles int64   `json:"contentionCycles"`
+	WCETCycles       int64   `json:"wcetCycles"`
+	Ratio            float64 `json:"ratio"`
+}
+
+type response struct {
+	FTC estimateOut `json:"ftc"`
+	ILP estimateOut `json:"ilpPtac"`
+}
+
+func main() {
+	inPath := flag.String("in", "", "read the request from this file instead of stdin")
+	flag.Parse()
+
+	var rd io.Reader = os.Stdin
+	if *inPath != "" {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		rd = f
+	}
+	var req request
+	dec := json.NewDecoder(rd)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(fmt.Errorf("parsing request: %w", err))
+	}
+
+	lat := platform.TC27xLatencies()
+	var sc core.Scenario
+	switch req.Scenario {
+	case 1:
+		sc = core.Scenario1()
+	case 2:
+		sc = core.Scenario2()
+	default:
+		fail(fmt.Errorf("scenario must be 1 or 2, got %d", req.Scenario))
+	}
+	var mode core.StallMode
+	switch req.StallMode {
+	case "", "budget":
+		mode = core.StallBudget
+	case "exact":
+		mode = core.StallExact
+	default:
+		fail(fmt.Errorf("stallMode must be budget or exact, got %q", req.StallMode))
+	}
+
+	in := core.Input{A: req.Analysed, B: req.Contenders, Lat: &lat, Scenario: sc}
+	ftcE, err := core.FTC(in)
+	if err != nil {
+		fail(err)
+	}
+	ilpE, err := core.ILPPTAC(in, core.PTACOptions{
+		StallMode:         mode,
+		DropContenderInfo: req.DropContenderInfo,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	out := response{FTC: toOut(ftcE), ILP: toOut(ilpE)}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fail(err)
+	}
+}
+
+func toOut(e core.Estimate) estimateOut {
+	return estimateOut{
+		Model:            e.Model,
+		IsolationCycles:  e.IsolationCycles,
+		ContentionCycles: e.ContentionCycles,
+		WCETCycles:       e.WCET(),
+		Ratio:            e.Ratio(),
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wcet:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch Go reproduction of "Modelling Multicore
+// Contention on the AURIX™ TC27x" (Díaz, Mezzetti, Kosmidis, Abella,
+// Cazorla — DAC 2018): measurement-based multicore-contention WCET models
+// driven exclusively by Debug Support Unit counters, evaluated on a
+// cycle-level simulator of the TC27x memory system standing in for the
+// paper's silicon testbed.
+//
+// The library lives under internal/: the paper's contribution in
+// internal/core, and every substrate it depends on (platform description,
+// SRI crossbar, TriCore cores, caches, DSU counters, simulation harness,
+// LP/ILP solver, workload generators, experiment drivers) alongside it.
+// Executables live under cmd/, runnable walkthroughs under examples/, and
+// the benchmark harness regenerating every table and figure of the paper's
+// evaluation is bench_test.go in this directory.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

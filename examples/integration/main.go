@@ -1,0 +1,131 @@
+// Integration walks the system-level story the paper's introduction
+// motivates: an OEM must verify, before assembling the system, that a
+// periodic task set stays schedulable on core 1 once a co-runner lands on
+// core 2 — and what it costs to guarantee that with each instrument:
+//
+//  1. fTC WCETs: valid against any co-runner, but so pessimistic the set
+//     may look unschedulable;
+//  2. ILP-PTAC WCETs: tighter, valid for the characterised contender set;
+//  3. enforcement (paper ref [16]): an RTOS stall quota on the contender
+//     caps interference by construction, with a bound needing no
+//     contender characterisation at all.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/platform"
+	"repro/internal/rta"
+	"repro/internal/sim"
+	"repro/internal/tricore"
+	"repro/internal/workload"
+)
+
+func main() {
+	lat := platform.TC27xLatencies()
+
+	// Measure three periodic control tasks in isolation (different sizes
+	// of the same control-loop shape).
+	type spec struct {
+		name   string
+		iters  int
+		period int64
+	}
+	specs := []spec{
+		{"airbag-monitor", 40, 90_000},
+		{"cruise-control", 100, 210_000},
+		{"diagnostics", 160, 620_000},
+	}
+	var isoReadings []dsu.Readings
+	for _, s := range specs {
+		src, err := workload.ControlLoop(workload.AppConfig{Scenario: workload.Scenario1, Core: 1, Iterations: s.iters})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunIsolation(lat, 1, sim.Task{Kind: tricore.TC16P, Src: src}, sim.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		isoReadings = append(isoReadings, res.Readings[1])
+		fmt.Printf("%-15s isolation %7d cycles (period %d)\n", s.name, res.Readings[1].CCNT, s.period)
+	}
+
+	// The contender the supplier on core 2 announced: an M-Load profile.
+	contSrc, err := workload.Contender(workload.ContenderConfig{Level: workload.MLoad, Scenario: workload.Scenario1, Core: 2, Bursts: 600})
+	if err != nil {
+		log.Fatal(err)
+	}
+	contIso, err := sim.RunIsolation(lat, 2, sim.Task{Kind: tricore.TC16P, Src: contSrc}, sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	contR := contIso.Readings[2]
+	fmt.Printf("%-15s isolation %7d cycles (announced co-runner)\n\n", "contender", contR.CCNT)
+
+	// Build the task set under each WCET instrument and run RTA.
+	analyse := func(label string, wcet func(dsu.Readings) int64) {
+		tasks := make([]rta.Task, len(specs))
+		for i, s := range specs {
+			tasks[i] = rta.Task{Name: s.name, WCET: wcet(isoReadings[i]), Period: s.period, Priority: i}
+		}
+		res, err := rta.Analyze(tasks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (utilization %.2f):\n", label, rta.Utilization(tasks))
+		for _, r := range res {
+			verdict := "meets deadline"
+			if !r.Schedulable {
+				verdict = "DEADLINE MISS"
+			}
+			fmt.Printf("  %-15s response %8d  %s\n", r.Task, r.Response, verdict)
+		}
+		fmt.Println()
+	}
+
+	mkInput := func(r dsu.Readings) core.Input {
+		return core.Input{A: r, B: []dsu.Readings{contR}, Lat: &lat, Scenario: core.Scenario1()}
+	}
+	analyse("1) fTC WCETs (any co-runner)", func(r dsu.Readings) int64 {
+		e, err := core.FTC(mkInput(r))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e.WCET()
+	})
+	analyse("2) ILP-PTAC WCETs (characterised co-runner)", func(r dsu.Readings) int64 {
+		e, err := core.ILPPTAC(mkInput(r), core.PTACOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return e.WCET()
+	})
+
+	// 3) Enforcement: pick a quota for the contender and bound the
+	// interference without knowing anything about it.
+	const quota = 1500
+	bound := core.EnforcedContentionBound(quota, &lat)
+	analyse(fmt.Sprintf("3) enforcement WCETs (contender stall quota %d)", quota), func(r dsu.Readings) int64 {
+		return r.CCNT + bound
+	})
+
+	// Validate the enforcement claim on the simulator.
+	app, err := workload.ControlLoop(workload.AppConfig{Scenario: workload.Scenario1, Core: 1, Iterations: specs[1].iters})
+	if err != nil {
+		log.Fatal(err)
+	}
+	contSrc.Reset()
+	multi, err := sim.Run(lat, map[int]sim.Task{
+		1: {Kind: tricore.TC16P, Src: app},
+		2: {Kind: tricore.TC16P, Src: contSrc},
+	}, 1, sim.Config{StallBudgets: map[int]int64{2: quota}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow := multi.Cycles - isoReadings[1].CCNT
+	fmt.Printf("enforced co-run of %s: slowdown %d cycles, bound %d — %v\n",
+		specs[1].name, slow, bound, slow <= bound)
+}

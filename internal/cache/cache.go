@@ -1,0 +1,236 @@
+// Package cache implements the core-local caches of the TC27x: the
+// instruction caches of the 1.6P (16 KiB) and 1.6E (8 KiB), the 8 KiB
+// write-back data cache of the 1.6P, and the 32-byte data read buffer (DRB)
+// the 1.6E deploys instead of a data cache.
+//
+// The caches are set-associative with true-LRU replacement and 32-byte
+// lines. The data cache tracks per-line dirty state because the TC27x
+// debug counters (and the paper's Table 2 latencies) distinguish clean
+// misses from dirty ones: a dirty miss folds the eviction write-back into
+// the refill transaction and occupies the LMU longer (21 vs 11 cycles).
+package cache
+
+import "fmt"
+
+// Config sizes a cache. LineSize must be a power of two; Sets and Ways must
+// be positive.
+type Config struct {
+	Sets     int
+	Ways     int
+	LineSize int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: sets (%d) and ways (%d) must be positive", c.Sets, c.Ways)
+	}
+	if c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0 {
+		return fmt.Errorf("cache: line size %d must be a positive power of two", c.LineSize)
+	}
+	if c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d must be a power of two", c.Sets)
+	}
+	return nil
+}
+
+// SizeBytes returns the cache capacity.
+func (c Config) SizeBytes() int { return c.Sets * c.Ways * c.LineSize }
+
+// TC16PICache is the 16 KiB, 2-way instruction cache of the TriCore 1.6P.
+func TC16PICache() Config { return Config{Sets: 256, Ways: 2, LineSize: 32} }
+
+// TC16PDCache is the 8 KiB, 2-way write-back data cache of the TriCore
+// 1.6P.
+func TC16PDCache() Config { return Config{Sets: 128, Ways: 2, LineSize: 32} }
+
+// TC16EICache is the 8 KiB, 2-way instruction cache of the TriCore 1.6E.
+func TC16EICache() Config { return Config{Sets: 128, Ways: 2, LineSize: 32} }
+
+// TC16EDRB is the 32-byte data read buffer of the TriCore 1.6E: a single
+// line, never dirty (the 1.6E writes through).
+func TC16EDRB() Config { return Config{Sets: 1, Ways: 1, LineSize: 32} }
+
+// Result classifies one cache access.
+type Result int
+
+const (
+	// Hit means the line was present.
+	Hit Result = iota
+	// MissClean means the line was absent and the victim (if any) was
+	// clean, so the refill is a single read transaction.
+	MissClean
+	// MissDirty means the line was absent and a dirty victim must be
+	// written back as part of the refill.
+	MissDirty
+)
+
+// String names the result.
+func (r Result) String() string {
+	switch r {
+	case Hit:
+		return "hit"
+	case MissClean:
+		return "miss-clean"
+	case MissDirty:
+		return "miss-dirty"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// Outcome is the full effect of one access: the hit/miss classification
+// plus the address of the dirty victim when one is evicted (the simulator
+// issues the write-back to that address's target).
+type Outcome struct {
+	Result Result
+	// VictimAddr is the base address of the evicted dirty line; valid
+	// only when Result == MissDirty.
+	VictimAddr uint32
+}
+
+type line struct {
+	valid bool
+	dirty bool
+	tag   uint32
+	// lru is a per-set age stamp; the line with the smallest stamp in a
+	// set is the least recently used.
+	lru uint64
+}
+
+// Cache is a set-associative cache with true-LRU replacement. The zero
+// value is unusable; construct with New.
+type Cache struct {
+	cfg   Config
+	lines []line // sets*ways, set-major
+	tick  uint64
+
+	// Statistics.
+	hits, missClean, missDirty int64
+
+	// writeAllocate controls whether a store miss allocates a line
+	// (write-back caches) or bypasses the cache (write-through buffers
+	// like the DRB).
+	writeAllocate bool
+}
+
+// New builds a cache. Write-back caches (the 1.6P D-cache) allocate on
+// store misses; pass writeAllocate=false for read-only or write-through
+// structures (I-caches take only fetches; the DRB never allocates stores).
+func New(cfg Config, writeAllocate bool) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		cfg:           cfg,
+		lines:         make([]line, cfg.Sets*cfg.Ways),
+		writeAllocate: writeAllocate,
+	}, nil
+}
+
+// MustNew is New for known-good configurations.
+func MustNew(cfg Config, writeAllocate bool) *Cache {
+	c, err := New(cfg, writeAllocate)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) index(addr uint32) (set int, tag uint32) {
+	lineAddr := addr / uint32(c.cfg.LineSize)
+	set = int(lineAddr) & (c.cfg.Sets - 1)
+	tag = lineAddr / uint32(c.cfg.Sets)
+	return set, tag
+}
+
+func (c *Cache) lineBase(set int, tag uint32) uint32 {
+	return (tag*uint32(c.cfg.Sets) + uint32(set)) * uint32(c.cfg.LineSize)
+}
+
+// Access performs one access. write marks stores; for I-caches it must be
+// false. The returned Outcome tells the caller which memory transactions
+// the access implies: none on a hit (or on a non-allocating store miss,
+// where the store itself goes to memory), a refill read on a clean miss,
+// and a write-back plus refill on a dirty miss.
+func (c *Cache) Access(addr uint32, write bool) Outcome {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	ways := c.lines[base : base+c.cfg.Ways]
+
+	c.tick++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.tick
+			// Only write-back caches dirty lines; write-through
+			// structures forward the store to memory and keep the line
+			// clean.
+			if write && c.writeAllocate {
+				ways[i].dirty = true
+			}
+			c.hits++
+			return Outcome{Result: Hit}
+		}
+	}
+
+	// Miss. Non-allocating stores go straight to memory and leave the
+	// cache untouched.
+	if write && !c.writeAllocate {
+		c.missClean++
+		return Outcome{Result: MissClean}
+	}
+
+	// Pick the victim: first invalid way, else LRU.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			goto fill
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+fill:
+	out := Outcome{Result: MissClean}
+	if ways[victim].valid && ways[victim].dirty {
+		out.Result = MissDirty
+		out.VictimAddr = c.lineBase(set, ways[victim].tag)
+		c.missDirty++
+	} else {
+		c.missClean++
+	}
+	ways[victim] = line{valid: true, dirty: write, tag: tag, lru: c.tick}
+	return out
+}
+
+// Lookup reports whether addr currently hits, without touching LRU state
+// or statistics.
+func (c *Cache) Lookup(addr uint32) bool {
+	set, tag := c.index(addr)
+	base := set * c.cfg.Ways
+	for _, l := range c.lines[base : base+c.cfg.Ways] {
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops every line without write-backs (as a debug-reset would).
+func (c *Cache) Invalidate() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, missClean, missDirty int64) {
+	return c.hits, c.missClean, c.missDirty
+}
+
+// ResetStats zeroes the statistics, keeping cache contents.
+func (c *Cache) ResetStats() { c.hits, c.missClean, c.missDirty = 0, 0, 0 }

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dsu"
+	"repro/internal/platform"
+)
+
+// TestDecompositionSatisfiesModel re-checks the worst-case mapping the
+// ILP returns against every constraint of the formulation — a consistency
+// audit of the solver through the model's own lens.
+func TestDecompositionSatisfiesModel(t *testing.T) {
+	a := sc1Readings(5, 5, 10, 10000)
+	b := sc1Readings(3, 4, 6, 10000)
+	in := Input{A: a, B: []dsu.Readings{b}, Lat: &tc27x, Scenario: Scenario1()}
+	est, err := ILPPTAC(in, PTACOptions{StallMode: StallExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := est.Decomposition
+
+	get := func(pattern string, to platform.TargetOp) int64 {
+		v, ok := d[fmt.Sprintf(pattern, to)]
+		if !ok {
+			t.Fatalf("missing decomposition entry for %s", to)
+		}
+		return v
+	}
+
+	// Non-negativity and zero pins.
+	for _, to := range platform.AccessPairs() {
+		for _, pat := range []string{"na[%s]", "nb0[%s]", "x0[%s]"} {
+			if v := get(pat, to); v < 0 {
+				t.Errorf("%s negative: %d", fmt.Sprintf(pat, to), v)
+			}
+		}
+		if !in.Scenario.Deploy.MayAccess(to.Target, to.Op) {
+			if v := get("na[%s]", to); v != 0 {
+				t.Errorf("na[%s] = %d despite placement pin", to, v)
+			}
+		}
+	}
+
+	// Stall decomposition (Eq. 20-21, exact mode).
+	var psA, dsA int64
+	for _, to := range platform.AccessPairs() {
+		cs := tc27x.MinStall(to.Target, to.Op)
+		if to.Op == platform.Code {
+			psA += get("na[%s]", to) * cs
+		} else {
+			dsA += get("na[%s]", to) * cs
+		}
+	}
+	if psA != a.PS || dsA != a.DS {
+		t.Errorf("stall decomposition %d/%d != observed %d/%d", psA, dsA, a.PS, a.DS)
+	}
+
+	// Code-count tailoring (Table 5): sum of code PTACs equals PM.
+	var pmA int64
+	for _, tg := range platform.Targets {
+		if platform.CanAccess(tg, platform.Code) && in.Scenario.Deploy.MayAccess(tg, platform.Code) {
+			pmA += get("na[%s]", platform.TargetOp{Target: tg, Op: platform.Code})
+		}
+	}
+	if pmA != a.PM {
+		t.Errorf("code PTAC sum %d != PM %d", pmA, a.PM)
+	}
+
+	// Interference caps (Eq. 10-19) and objective consistency (Eq. 9).
+	var obj int64
+	for _, tg := range platform.Targets {
+		var xSum, naSum int64
+		for _, op := range platform.Ops {
+			if !platform.CanAccess(tg, op) {
+				continue
+			}
+			to := platform.TargetOp{Target: tg, Op: op}
+			x := get("x0[%s]", to)
+			if nb := get("nb0[%s]", to); x > nb {
+				t.Errorf("x0[%s] = %d exceeds contender count %d", to, x, nb)
+			}
+			xSum += x
+			naSum += get("na[%s]", to)
+			obj += x * tc27x.MaxLatency(tg, op)
+		}
+		if xSum > naSum {
+			t.Errorf("%s: conflicts %d exceed analysed requests %d", tg, xSum, naSum)
+		}
+	}
+	if obj != est.ContentionCycles {
+		t.Errorf("decomposition objective %d != reported bound %d", obj, est.ContentionCycles)
+	}
+}
+
+// TestDecompositionUpperBoundGap: under a coarse optimality gap the
+// reported bound may exceed the incumbent decomposition's objective, but
+// never by more than the gap.
+func TestDecompositionUpperBoundGap(t *testing.T) {
+	a := sc1Readings(50, 50, 100, 1000000)
+	b := sc1Readings(30, 40, 60, 1000000)
+	in := Input{A: a, B: []dsu.Readings{b}, Lat: &tc27x, Scenario: Scenario1()}
+	const gap = 200
+	est, err := ILPPTAC(in, PTACOptions{Gap: gap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj int64
+	for _, to := range platform.AccessPairs() {
+		obj += est.Decomposition[fmt.Sprintf("x0[%s]", to)] * tc27x.MaxLatency(to.Target, to.Op)
+	}
+	if est.ContentionCycles < obj {
+		t.Errorf("reported bound %d below incumbent objective %d", est.ContentionCycles, obj)
+	}
+	if est.ContentionCycles > obj+gap {
+		t.Errorf("reported bound %d exceeds incumbent %d by more than the gap %d", est.ContentionCycles, obj, gap)
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import "repro/internal/platform"
+
+// EnforcedContentionBound bounds the contention a single contender can
+// inflict on the analysed task when an RTOS-level enforcement mechanism
+// (the paper's ref [16], Nowotsch et al.) suspends it once its own SRI
+// stall cycles reach quota.
+//
+// Every contender SRI transaction charges the contender at least
+// cs_min = min over (t,o) of cs^{t,o} stall cycles, and the enforcer
+// lets at most one transaction complete past the quota boundary, so the
+// contender issues at most quota/cs_min + 1 transactions; each can delay
+// the analysed task at most once, by at most the worst transaction
+// latency.
+//
+// Unlike the fTC and ILP-PTAC bounds, this holds without *any* knowledge
+// of the contender — the quota, not measurement, caps its behaviour. It
+// pairs with sim.Config.StallBudgets, which implements the enforcement.
+func EnforcedContentionBound(quota int64, lat *platform.LatencyTable) int64 {
+	if quota < 0 {
+		quota = 0
+	}
+	csMin := lat.MinStallFor(platform.Code)
+	if d := lat.MinStallFor(platform.Data); d < csMin {
+		csMin = d
+	}
+	var lMax int64
+	for _, to := range platform.AccessPairs() {
+		if l := lat.MaxLatency(to.Target, to.Op); l > lMax {
+			lMax = l
+		}
+	}
+	if quota == 0 {
+		return 0
+	}
+	return (quota/csMin + 1) * lMax
+}

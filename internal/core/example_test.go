@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/platform"
+)
+
+// ExampleFTC bounds a task's multicore WCET from its own isolation
+// readings only — valid against any contender.
+func ExampleFTC() {
+	lat := platform.TC27xLatencies()
+	in := core.Input{
+		// 10 SRI code requests' worth of program stalls (cs=6) and 10
+		// data requests' worth (cs=10), measured in isolation.
+		A:        dsu.Readings{CCNT: 10000, PS: 60, DS: 100, PM: 10},
+		B:        []dsu.Readings{{}}, // fTC ignores contender content
+		Lat:      &lat,
+		Scenario: core.Scenario1(),
+	}
+	est, err := core.FTC(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(est)
+	// Output: fTC: iso=10000 +cont=590 wcet=10590 (x1.06)
+}
+
+// ExampleILPPTAC tightens the bound using the contender's isolation
+// readings and the Scenario 1 tailoring of Table 5.
+func ExampleILPPTAC() {
+	lat := platform.TC27xLatencies()
+	in := core.Input{
+		A:        dsu.Readings{CCNT: 10000, PS: 60, DS: 100, PM: 10},
+		B:        []dsu.Readings{{CCNT: 10000, PS: 24, DS: 30, PM: 4}},
+		Lat:      &lat,
+		Scenario: core.Scenario1(),
+	}
+	est, err := core.ILPPTAC(in, core.PTACOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(est)
+	// Output: ILP-PTAC: iso=10000 +cont=97 wcet=10097 (x1.01)
+}
+
+// ExampleAccessBounds shows Eq. 4: over-approximating a task's SRI
+// request counts from its stall counters.
+func ExampleAccessBounds() {
+	lat := platform.TC27xLatencies()
+	nCo, nDa := core.AccessBounds(dsu.Readings{PS: 61, DS: 99}, &lat)
+	fmt.Println(nCo, nDa)
+	// Output: 11 10
+}
+
+// ExampleEnforcedContentionBound bounds interference from an RTOS stall
+// quota alone, with no contender measurement (paper ref [16]).
+func ExampleEnforcedContentionBound() {
+	lat := platform.TC27xLatencies()
+	fmt.Println(core.EnforcedContentionBound(600, &lat))
+	// Output: 4343
+}

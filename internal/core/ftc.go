@@ -1,0 +1,39 @@
+package core
+
+import "repro/internal/platform"
+
+// FTC computes the fully time-composable contention bound (paper §3.4).
+//
+// The model uses only the analysed task's isolation readings: its SRI code
+// and data request counts are over-approximated from the stall counters
+// (Eq. 4), and every request is charged the longest delay any contender
+// request could impose on any target its operation class can reach
+// (Eq. 6-8):
+//
+//	Δcont = n̂co · l^co_max + n̂da · l^da_max
+//
+// The bound holds for any contender workload. Under round-robin
+// arbitration delays stack once per contender, so FTC charges one
+// contender's worth of delay per request times the number of contenders in
+// the input (at least one).
+func FTC(in Input) (Estimate, error) {
+	if err := in.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	nCo, nDa := AccessBounds(in.A, in.Lat)
+	lCoMax := in.Lat.MaxLatencyFor(platform.Code)
+	lDaMax := in.Lat.MaxLatencyFor(platform.Data)
+
+	// With k contenders in the same round-robin class, each request can
+	// be delayed once by each of them.
+	k := int64(len(in.B))
+	if k < 1 {
+		k = 1
+	}
+	delta := k * (nCo*lCoMax + nDa*lDaMax)
+	return Estimate{
+		Model:            "fTC",
+		IsolationCycles:  in.A.CCNT,
+		ContentionCycles: delta,
+	}, nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/platform"
+)
+
+// Ideal computes the ideal contention bound (paper §3.2, Eq. 1), assuming
+// the exact per-target access counts (PTAC) of both tasks are known: each
+// contender request delays at most one analysed-task request on its target
+// (round-robin), so the number of conflicts on a target is bounded by the
+// smaller of the two tasks' request counts there, and when the contender
+// has more requests than the analysed task its highest-latency ones are
+// assumed to do the delaying.
+//
+// Contention on a target is oblivious to the operation type of the
+// *delayed* request — a contender data request in flight stalls an
+// analysed-task code request just the same — so conflicts are matched per
+// target across both operation types, with the contender's requests
+// ordered by decreasing latency (this is the prose of §3.2; the compact
+// Eq. 1 elides the cross-type matching that its ILP refinement, Eq. 11-19,
+// spells out).
+//
+// The TC27x DSU cannot produce these counts — that is the gap the paper's
+// other models bridge — but the simulator's ground truth can, so Ideal
+// serves as the validation oracle: it must upper-bound observed contention
+// and lower-bound the DSU-driven models.
+func Ideal(na, nb map[platform.TargetOp]int64, lat *platform.LatencyTable) int64 {
+	var delta int64
+	for _, t := range platform.Targets {
+		var naT int64
+		type req struct {
+			lat   int64
+			count int64
+		}
+		var bReqs []req
+		for _, o := range platform.Ops {
+			if !platform.CanAccess(t, o) {
+				continue
+			}
+			to := platform.TargetOp{Target: t, Op: o}
+			naT += na[to]
+			if c := nb[to]; c > 0 {
+				bReqs = append(bReqs, req{lat: lat.MaxLatency(t, o), count: c})
+			}
+		}
+		// Greedily match the contender's longest requests against the
+		// analysed task's requests on this target.
+		sort.Slice(bReqs, func(i, j int) bool { return bReqs[i].lat > bReqs[j].lat })
+		remaining := naT
+		for _, r := range bReqs {
+			if remaining <= 0 {
+				break
+			}
+			n := r.count
+			if n > remaining {
+				n = remaining
+			}
+			delta += n * r.lat
+			remaining -= n
+		}
+	}
+	return delta
+}
+
+// IdealMulti extends Ideal to several contenders: with round-robin
+// arbitration each contender independently delays up to min(na, nbi)
+// requests per target.
+func IdealMulti(na map[platform.TargetOp]int64, nbs []map[platform.TargetOp]int64, lat *platform.LatencyTable) int64 {
+	var delta int64
+	for _, nb := range nbs {
+		delta += Ideal(na, nb, lat)
+	}
+	return delta
+}

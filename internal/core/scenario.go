@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+)
+
+// Scenario captures what the analysis may assume about a deployment
+// configuration (paper §4.1 and Table 5). The Deployment zeroes PTAC
+// variables on access paths the configuration cannot generate; the two
+// flags encode the indirect PTAC information the cache-miss counters
+// provide under that configuration.
+type Scenario struct {
+	// Name labels the scenario in output ("scenario1", ...).
+	Name string
+	// Deploy is the code/data placement; PTAC variables for paths it
+	// cannot reach are pinned to zero.
+	Deploy platform.Deployment
+	// CodeCountExact states that every code access reaching the SRI is
+	// performed in cacheable mode, so PCACHE_MISS counts the task's SRI
+	// code requests exactly: sum over code targets of n^{t,co} = PM
+	// (both scenarios of the paper).
+	CodeCountExact bool
+	// CacheableDataFloor states that some data placements are cacheable,
+	// so DCACHE_MISS_CLEAN + DCACHE_MISS_DIRTY is a lower bound on the
+	// task's SRI data requests (Scenario 2's constraint — the miss
+	// counters cannot discriminate the target, and non-cacheable
+	// accesses add on top).
+	CacheableDataFloor bool
+}
+
+// Validate checks the deployment against the platform's architectural
+// constraints and the flags against the deployment.
+func (s Scenario) Validate() error {
+	if err := s.Deploy.Validate(); err != nil {
+		return fmt.Errorf("core: scenario %s: %w", s.Name, err)
+	}
+	if s.CodeCountExact {
+		for _, p := range s.Deploy.Code {
+			if !p.Cacheable {
+				return fmt.Errorf("core: scenario %s: CodeCountExact requires all SRI code cacheable, found %s", s.Name, p)
+			}
+		}
+	}
+	if s.CacheableDataFloor && s.Deploy.CacheableDataOnly() == false {
+		// Mixed cacheable/non-cacheable data is exactly when the floor
+		// is useful; nothing to check beyond having cacheable data at
+		// all.
+		has := false
+		for _, p := range s.Deploy.Data {
+			if p.Cacheable {
+				has = true
+			}
+		}
+		if !has {
+			return fmt.Errorf("core: scenario %s: CacheableDataFloor without cacheable data placements", s.Name)
+		}
+	}
+	return nil
+}
+
+// Scenario1 is the paper's first evaluation scenario (Figure 3-a):
+// cacheable code in pf0/pf1, non-cacheable shared data in the lmu. Table 5
+// tailoring: no dfl data, no lmu code, no pf data, and the code PTACs sum
+// exactly to PCACHE_MISS.
+func Scenario1() Scenario {
+	return Scenario{
+		Name:           "scenario1",
+		Deploy:         platform.Scenario1(),
+		CodeCountExact: true,
+	}
+}
+
+// Scenario2 is the paper's second evaluation scenario (Figure 3-b):
+// cacheable code in pf0/pf1, lmu data both cacheable and non-cacheable,
+// constant cacheable data in pf0/pf1. Table 5 tailoring: no dfl data, no
+// lmu code, code PTACs sum to PCACHE_MISS, and data PTACs are bounded
+// below by the data-cache miss count.
+func Scenario2() Scenario {
+	return Scenario{
+		Name:               "scenario2",
+		Deploy:             platform.Scenario2(),
+		CodeCountExact:     true,
+		CacheableDataFloor: true,
+	}
+}
+
+// GenericScenario derives a scenario from a deployment with no
+// counter-based tailoring: only the placement-derived zero constraints
+// apply. This is what an integrator gets for an arbitrary configuration
+// before reasoning about cacheability.
+func GenericScenario(d platform.Deployment) Scenario {
+	return Scenario{Name: "generic", Deploy: d}
+}

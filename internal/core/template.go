@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dsu"
+	"repro/internal/ilp"
+	"repro/internal/platform"
+)
+
+// Template is a resource-usage contract for a contender in the spirit of
+// the paper's ref [10] (Fernandez et al., "Resource usage templates and
+// signatures for COTS multicore processors"): instead of measuring the
+// actual co-runner — which may not exist yet at early design stages — the
+// OEM pledges per-target request budgets the future co-runner must respect.
+// Feeding a template instead of readings keeps the whole ILP-PTAC workflow
+// available before any contender software is written, and the resulting
+// bound holds for *every* contender that honours the contract.
+type Template struct {
+	// Name labels the contract.
+	Name string
+	// MaxRequests bounds the contender's SRI requests per (target, op)
+	// over the analysis window. Absent entries mean zero — the template
+	// pledges the contender will not touch that path at all.
+	MaxRequests map[platform.TargetOp]int64
+}
+
+// Validate rejects contracts with illegal paths or negative budgets.
+func (tp Template) Validate() error {
+	for to, n := range tp.MaxRequests {
+		if !to.Valid() {
+			return fmt.Errorf("core: template %s: illegal access path %s", tp.Name, to)
+		}
+		if n < 0 {
+			return fmt.Errorf("core: template %s: negative budget %d for %s", tp.Name, n, to)
+		}
+	}
+	return nil
+}
+
+// ILPPTACTemplate computes the ILP-PTAC bound for the analysed task
+// against one or more contender templates. The analysed task is
+// characterised by its isolation readings exactly as in ILPPTAC; each
+// contender's per-target counts are fixed by its contract rather than
+// reconstructed from stall counters, so Eq. 22-23 are replaced by direct
+// bounds n^{t,o}_b <= MaxRequests[t,o].
+func ILPPTACTemplate(a Input, templates []Template, opts PTACOptions) (Estimate, error) {
+	// Validate τa's side with a placeholder contender so Input.Validate
+	// applies; templates are checked separately.
+	probe := a
+	probe.B = nil
+	if err := probe.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if len(templates) == 0 {
+		return Estimate{}, fmt.Errorf("core: ILP-PTAC-template needs at least one template")
+	}
+	for _, tp := range templates {
+		if err := tp.Validate(); err != nil {
+			return Estimate{}, err
+		}
+	}
+
+	b := &ptacBuilder{p: ilp.New(), in: a, opts: opts}
+	na := b.addTaskVars("a")
+	b.addStallConstraints(na, a.A)
+	b.addTailoring(na, a.A)
+
+	for bi, tp := range templates {
+		nb := make(map[platform.TargetOp]ilp.Var, 7)
+		for _, to := range platform.AccessPairs() {
+			// The contract pins the contender's counts directly; the
+			// deployment pin still applies on top.
+			hi := float64(tp.MaxRequests[to])
+			if !a.Scenario.Deploy.MayAccess(to.Target, to.Op) {
+				hi = 0
+			}
+			nb[to] = b.p.AddInt(fmt.Sprintf("nb%d[%s]", bi, to), 0, hi)
+		}
+		// Templates carry no cacheability split, so the dirty-LMU
+		// escalation never triggers (zero readings: DMD = 0); the
+		// contract's requests are already charged at full lmax.
+		b.addInterference(bi, na, nb, dsu.Readings{})
+	}
+
+	gap := opts.Gap
+	if gap <= 0 {
+		gap = defaultGap(a.Lat)
+	}
+	sol, err := b.p.Solve(ilp.Options{MaxNodes: opts.MaxNodes, Gap: gap})
+	if err != nil {
+		return Estimate{}, fmt.Errorf("core: ILP-PTAC-template (%s): %w", a.Scenario.Name, err)
+	}
+
+	decomp := make(map[string]int64)
+	for _, to := range platform.AccessPairs() {
+		decomp[fmt.Sprintf("na[%s]", to)] = sol.Int(fmt.Sprintf("na[%s]", to))
+		for bi := range templates {
+			decomp[fmt.Sprintf("nb%d[%s]", bi, to)] = sol.Int(fmt.Sprintf("nb%d[%s]", bi, to))
+			decomp[fmt.Sprintf("x%d[%s]", bi, to)] = sol.Int(fmt.Sprintf("x%d[%s]", bi, to))
+		}
+	}
+	return Estimate{
+		Model:            "ILP-PTAC-template",
+		IsolationCycles:  a.A.CCNT,
+		ContentionCycles: int64(sol.UpperBound + 0.5),
+		Decomposition:    decomp,
+	}, nil
+}

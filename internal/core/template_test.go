@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dsu"
+	"repro/internal/platform"
+)
+
+func tpl(codePF, dataLMU int64) Template {
+	return Template{
+		Name: "contract",
+		MaxRequests: map[platform.TargetOp]int64{
+			to(platform.PF0, platform.Code): codePF,
+			to(platform.PF1, platform.Code): codePF,
+			to(platform.LMU, platform.Data): dataLMU,
+		},
+	}
+}
+
+func TestTemplateValidate(t *testing.T) {
+	if err := tpl(10, 10).Validate(); err != nil {
+		t.Error(err)
+	}
+	bad := Template{Name: "x", MaxRequests: map[platform.TargetOp]int64{to(platform.DFL, platform.Code): 1}}
+	if err := bad.Validate(); err == nil {
+		t.Error("illegal path accepted")
+	}
+	neg := Template{Name: "x", MaxRequests: map[platform.TargetOp]int64{to(platform.LMU, platform.Data): -1}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestILPPTACTemplateBasic(t *testing.T) {
+	// τa: 10 code requests, 10 lmu data requests. Contract: contender may
+	// make up to 4 code requests per bank and 3 lmu data requests.
+	a := Input{A: sc1Readings(5, 5, 10, 10000), Lat: &tc27x, Scenario: Scenario1()}
+	est, err := ILPPTACTemplate(a, []Template{tpl(4, 3)}, PTACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: all 8 code conflicts land (bounded by the contract's
+	// 4+4), 3 data conflicts: 8*16 + 3*11 = 161.
+	if want := int64(8*16 + 3*11); est.ContentionCycles != want {
+		t.Errorf("Δcont = %d, want %d", est.ContentionCycles, want)
+	}
+	if est.Model != "ILP-PTAC-template" {
+		t.Errorf("model = %q", est.Model)
+	}
+}
+
+func TestILPPTACTemplateAnalysedSideCaps(t *testing.T) {
+	// A huge contract is still capped by the analysed task's own counts.
+	a := Input{A: sc1Readings(2, 2, 3, 10000), Lat: &tc27x, Scenario: Scenario1()}
+	est, err := ILPPTACTemplate(a, []Template{tpl(1000, 1000)}, PTACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(4*16 + 3*11); est.ContentionCycles != want {
+		t.Errorf("Δcont = %d, want %d (τa-side caps)", est.ContentionCycles, want)
+	}
+}
+
+func TestILPPTACTemplateMatchesReadingsEquivalent(t *testing.T) {
+	// A template pledging exactly a measured contender's counts must give
+	// the same bound as ILPPTAC fed that contender's readings.
+	aR := sc1Readings(5, 5, 10, 10000)
+	bR := sc1Readings(3, 4, 6, 10000)
+	in := Input{A: aR, B: []dsu.Readings{bR}, Lat: &tc27x, Scenario: Scenario1()}
+	fromReadings, err := ILPPTAC(in, PTACOptions{StallMode: StallExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The readings-driven model can redistribute the 7 code requests
+	// across banks; the equivalent contract pledges 7 on each bank (the
+	// worst admissible distribution) and 6 lmu data requests... to match
+	// exactly, pledge the total on both banks but cap the sum via the
+	// tighter of the two models being compared is not the point — the
+	// template bound must be >= the readings bound when it admits every
+	// distribution the readings admit.
+	contract := Template{
+		Name: "like-measured",
+		MaxRequests: map[platform.TargetOp]int64{
+			to(platform.PF0, platform.Code): 7,
+			to(platform.PF1, platform.Code): 7,
+			to(platform.LMU, platform.Data): 6,
+		},
+	}
+	fromTemplate, err := ILPPTACTemplate(Input{A: aR, Lat: &tc27x, Scenario: Scenario1()},
+		[]Template{contract}, PTACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromTemplate.ContentionCycles < fromReadings.ContentionCycles {
+		t.Errorf("template bound %d below readings bound %d despite a looser contract",
+			fromTemplate.ContentionCycles, fromReadings.ContentionCycles)
+	}
+}
+
+func TestILPPTACTemplateValidation(t *testing.T) {
+	a := Input{A: sc1Readings(1, 1, 1, 100), Lat: &tc27x, Scenario: Scenario1()}
+	if _, err := ILPPTACTemplate(a, nil, PTACOptions{}); err == nil {
+		t.Error("no templates accepted")
+	}
+	bad := Template{Name: "x", MaxRequests: map[platform.TargetOp]int64{to(platform.LMU, platform.Data): -2}}
+	if _, err := ILPPTACTemplate(a, []Template{bad}, PTACOptions{}); err == nil {
+		t.Error("invalid template accepted")
+	}
+	noLat := a
+	noLat.Lat = nil
+	if _, err := ILPPTACTemplate(noLat, []Template{tpl(1, 1)}, PTACOptions{}); err == nil {
+		t.Error("nil latency table accepted")
+	}
+}
+
+func TestILPPTACTemplateZeroContract(t *testing.T) {
+	// A contender pledging zero SRI usage inflicts zero contention.
+	a := Input{A: sc1Readings(5, 5, 10, 10000), Lat: &tc27x, Scenario: Scenario1()}
+	est, err := ILPPTACTemplate(a, []Template{{Name: "silent"}}, PTACOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.ContentionCycles != 0 {
+		t.Errorf("silent contract caused %d contention cycles", est.ContentionCycles)
+	}
+}

@@ -1,0 +1,148 @@
+package dsu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterNames(t *testing.T) {
+	want := map[Counter]string{
+		CCNT:            "CCNT",
+		PMemStall:       "PMEM_STALL",
+		DMemStall:       "DMEM_STALL",
+		PCacheMiss:      "PCACHE_MISS",
+		DCacheMissClean: "DCACHE_MISS_CLEAN",
+		DCacheMissDirty: "DCACHE_MISS_DIRTY",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if Counter(42).String() != "Counter(42)" {
+		t.Error("invalid counter name")
+	}
+}
+
+func TestBankAddReadReset(t *testing.T) {
+	var b Bank
+	b.Add(CCNT, 100)
+	b.Add(CCNT, 50)
+	b.Add(PMemStall, 7)
+	if got := b.Read(CCNT); got != 150 {
+		t.Errorf("CCNT = %d, want 150", got)
+	}
+	if got := b.Read(PMemStall); got != 7 {
+		t.Errorf("PMEM_STALL = %d, want 7", got)
+	}
+	if got := b.Read(DMemStall); got != 0 {
+		t.Errorf("untouched counter = %d", got)
+	}
+	b.Reset()
+	if b.Read(CCNT) != 0 || b.Read(PMemStall) != 0 {
+		t.Error("Reset left residue")
+	}
+}
+
+func TestBankPanics(t *testing.T) {
+	var b Bank
+	for name, f := range map[string]func(){
+		"bad counter add":  func() { b.Add(Counter(99), 1) },
+		"bad counter read": func() { b.Read(Counter(-1)) },
+		"negative add":     func() { b.Add(CCNT, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	var b Bank
+	b.Add(CCNT, 1000)
+	b.Add(PMemStall, 10)
+	b.Add(DMemStall, 20)
+	b.Add(PCacheMiss, 3)
+	b.Add(DCacheMissClean, 4)
+	b.Add(DCacheMissDirty, 5)
+	r := b.Snapshot()
+	want := Readings{CCNT: 1000, PS: 10, DS: 20, PM: 3, DMC: 4, DMD: 5}
+	if r != want {
+		t.Errorf("Snapshot = %+v, want %+v", r, want)
+	}
+}
+
+func TestReadingsValidate(t *testing.T) {
+	good := Readings{CCNT: 100, PS: 40, DS: 50}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid readings rejected: %v", err)
+	}
+	// Table 6 rows must validate.
+	sc1core1 := Readings{PM: 236544, DMC: 0, DMD: 0, PS: 3421242, DS: 8345056, CCNT: 20000000}
+	if err := sc1core1.Validate(); err != nil {
+		t.Errorf("Table 6 style readings rejected: %v", err)
+	}
+	bad := []Readings{
+		{CCNT: -1},
+		{PS: -5},
+		{CCNT: 10, PS: 8, DS: 5}, // stalls exceed cycles
+	}
+	for _, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("invalid readings %+v accepted", r)
+		}
+	}
+}
+
+func TestReadingsSub(t *testing.T) {
+	end := Readings{CCNT: 100, PS: 10, DS: 20, PM: 3, DMC: 2, DMD: 1}
+	start := Readings{CCNT: 40, PS: 4, DS: 8, PM: 1, DMC: 1, DMD: 0}
+	got := end.Sub(start)
+	want := Readings{CCNT: 60, PS: 6, DS: 12, PM: 2, DMC: 1, DMD: 1}
+	if got != want {
+		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+}
+
+func TestReadingsString(t *testing.T) {
+	r := Readings{CCNT: 9, PS: 1, DS: 2, PM: 3, DMC: 4, DMD: 5}
+	want := "PM=3 DMC=4 DMD=5 PS=1 DS=2 CCNT=9"
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// Property: Snapshot after a series of Adds equals the sum per counter, and
+// Sub(Snapshot, earlier) is consistent with the increments in between.
+func TestSnapshotDeltaProperty(t *testing.T) {
+	f := func(incs []uint16) bool {
+		var b Bank
+		var mid Readings
+		half := len(incs) / 2
+		for i, v := range incs {
+			if i == half {
+				mid = b.Snapshot()
+			}
+			b.Add(Counter(int(v)%int(NumCounters)), int64(v%97))
+		}
+		if half == 0 {
+			mid = Readings{}
+		}
+		delta := b.Snapshot().Sub(mid)
+		var wantCCNT int64
+		for i, v := range incs {
+			if i >= half && Counter(int(v)%int(NumCounters)) == CCNT {
+				wantCCNT += int64(v % 97)
+			}
+		}
+		return delta.CCNT == wantCCNT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

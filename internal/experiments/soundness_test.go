@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tricore"
+)
+
+// randomTrace builds a random but scenario-legal access stream: code from
+// the local program scratchpad and the cacheable PFlash banks, data in the
+// non-cacheable LMU window (Scenario 1's shape), with random gaps and
+// lengths. The generator is the adversary for the soundness tests: any
+// legal access pattern must be bounded by the models.
+func randomTrace(rng *rand.Rand, coreIdx int, n int) trace.Source {
+	accs := make([]trace.Access, n)
+	for i := range accs {
+		var a trace.Access
+		a.Gap = int64(rng.Intn(6))
+		switch rng.Intn(6) {
+		case 0: // scratchpad code
+			a.Kind = trace.Fetch
+			a.Addr = platform.PSPRAddr(coreIdx, uint32(rng.Intn(128))*32)
+		case 1: // pf0 code, random line (cacheable: may hit or miss)
+			a.Kind = trace.Fetch
+			a.Addr = platform.PFlash0Base + uint32(coreIdx)*0x18000 + uint32(rng.Intn(4096))*32
+		case 2: // pf1 code
+			a.Kind = trace.Fetch
+			a.Addr = platform.PFlash1Base + uint32(coreIdx)*0x18000 + uint32(rng.Intn(4096))*32
+		case 3: // lmu shared read
+			a.Kind = trace.Load
+			a.Addr = platform.Uncached(platform.LMUBase) + uint32(rng.Intn(2048))*4
+		case 4: // lmu shared write
+			a.Kind = trace.Store
+			a.Addr = platform.Uncached(platform.LMUBase) + uint32(rng.Intn(2048))*4
+		case 5: // scratchpad data
+			a.Kind = trace.Load
+			a.Addr = platform.DSPRAddr(coreIdx, uint32(rng.Intn(1024))*4)
+		}
+		accs[i] = a
+	}
+	return trace.NewSlice(accs)
+}
+
+// TestRandomizedSoundness is failure injection for the models: random
+// legal workloads on both cores, measured in isolation, bounded by the
+// models, then co-run — the bounds must hold for every sample, not just
+// the paper's benchmarks.
+func TestRandomizedSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xA0F1))
+	for i := 0; i < 25; i++ {
+		appSrc := randomTrace(rng, AnalysedCore, 200+rng.Intn(600))
+		contSrc := randomTrace(rng, ContenderCore, 100+rng.Intn(1200))
+
+		iso, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		appR := iso.Readings[AnalysedCore]
+		contIso, err := sim.RunIsolation(lat, ContenderCore, sim.Task{Kind: tricore.TC16P, Src: contSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		contR := contIso.Readings[ContenderCore]
+
+		in := core.Input{A: appR, B: []dsu.Readings{contR}, Lat: &lat, Scenario: core.Scenario1()}
+		ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		ftcE, err := core.FTC(in)
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+
+		appSrc.Reset()
+		contSrc.Reset()
+		multi, err := sim.Run(lat, map[int]sim.Task{
+			AnalysedCore:  {Kind: tricore.TC16P, Src: appSrc},
+			ContenderCore: {Kind: tricore.TC16P, Src: contSrc},
+		}, AnalysedCore, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if multi.Cycles > ilpE.WCET() {
+			t.Errorf("sample %d: observed %d exceeds ILP-PTAC WCET %d (iso %d)",
+				i, multi.Cycles, ilpE.WCET(), appR.CCNT)
+		}
+		if ilpE.WCET() > ftcE.WCET() {
+			t.Errorf("sample %d: ILP-PTAC %d above fTC %d", i, ilpE.WCET(), ftcE.WCET())
+		}
+		// Ideal with ground truth must also cover the true wait.
+		ideal := core.Ideal(multi.PTAC[AnalysedCore], multi.PTAC[ContenderCore], &lat)
+		if truth := multi.TotalWait(AnalysedCore); ideal < truth {
+			t.Errorf("sample %d: Ideal %d below true contention %d", i, ideal, truth)
+		}
+	}
+}
+
+// TestRandomizedSoundnessThreeCores repeats the exercise with contenders
+// on both other cores (including the 1.6E), checking the multi-contender
+// extension end to end.
+func TestRandomizedSoundnessThreeCores(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xBEEF))
+	for i := 0; i < 10; i++ {
+		appSrc := randomTrace(rng, 1, 200+rng.Intn(400))
+		c2Src := randomTrace(rng, 2, 100+rng.Intn(800))
+		c0Src := randomTrace(rng, 0, 100+rng.Intn(800))
+
+		iso, err := sim.RunIsolation(lat, 1, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2Iso, err := sim.RunIsolation(lat, 2, sim.Task{Kind: tricore.TC16P, Src: c2Src}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0Iso, err := sim.RunIsolation(lat, 0, sim.Task{Kind: tricore.TC16E, Src: c0Src}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		in := core.Input{
+			A:        iso.Readings[1],
+			B:        []dsu.Readings{c2Iso.Readings[2], c0Iso.Readings[0]},
+			Lat:      &lat,
+			Scenario: core.Scenario1(),
+		}
+		ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+
+		appSrc.Reset()
+		c2Src.Reset()
+		c0Src.Reset()
+		multi, err := sim.Run(lat, map[int]sim.Task{
+			1: {Kind: tricore.TC16P, Src: appSrc},
+			2: {Kind: tricore.TC16P, Src: c2Src},
+			0: {Kind: tricore.TC16E, Src: c0Src},
+		}, 1, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Cycles > ilpE.WCET() {
+			t.Errorf("sample %d: observed %d exceeds two-contender ILP WCET %d", i, multi.Cycles, ilpE.WCET())
+		}
+	}
+}
+
+// TestTemplateSoundnessEndToEnd: bounds computed from a resource-usage
+// *contract* (core.Template, ref [10]) must hold for any actual contender
+// that honours it — here a contender whose ground-truth PTACs are verified
+// against the pledge after the run.
+func TestTemplateSoundnessEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xF00D))
+	for i := 0; i < 10; i++ {
+		appSrc := randomTrace(rng, AnalysedCore, 300)
+		iso, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		contract := core.Template{
+			Name: "pledged",
+			MaxRequests: map[platform.TargetOp]int64{
+				{Target: platform.PF0, Op: platform.Code}: 150,
+				{Target: platform.PF1, Op: platform.Code}: 150,
+				{Target: platform.LMU, Op: platform.Data}: 200,
+			},
+		}
+		est, err := core.ILPPTACTemplate(core.Input{
+			A: iso.Readings[AnalysedCore], Lat: &lat, Scenario: core.Scenario1(),
+		}, []core.Template{contract}, core.PTACOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A contender that stays within the pledge (trace sized below the
+		// per-path budgets; cacheable pf fetches can only reduce SRI
+		// counts further).
+		contSrc := randomTrace(rng, ContenderCore, 250)
+		appSrc.Reset()
+		multi, err := sim.Run(lat, map[int]sim.Task{
+			AnalysedCore:  {Kind: tricore.TC16P, Src: appSrc},
+			ContenderCore: {Kind: tricore.TC16P, Src: contSrc},
+		}, AnalysedCore, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Verify the contender actually honoured the contract, then the
+		// bound.
+		for to, max := range contract.MaxRequests {
+			if got := multi.PTAC[ContenderCore][to]; got > max {
+				t.Fatalf("sample %d: contender broke its pledge on %s: %d > %d", i, to, got, max)
+			}
+		}
+		if multi.Cycles > est.WCET() {
+			t.Errorf("sample %d: observed %d exceeds template WCET %d", i, multi.Cycles, est.WCET())
+		}
+	}
+}
+
+// TestRandomizedSoundnessWithJitter injects per-transaction service-time
+// variability — the "actual stall cycles are not constant" effect the
+// paper notes (§3.5) — into the co-scheduled run. The models assume the
+// worst-case service everywhere, so jittered (shorter-or-equal) services
+// must stay within the bounds.
+func TestRandomizedSoundnessWithJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xD1CE))
+	for i := 0; i < 10; i++ {
+		appSrc := randomTrace(rng, AnalysedCore, 300)
+		contSrc := randomTrace(rng, ContenderCore, 600)
+
+		iso, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		contIso, err := sim.RunIsolation(lat, ContenderCore, sim.Task{Kind: tricore.TC16P, Src: contSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := core.Input{A: iso.Readings[AnalysedCore], B: []dsu.Readings{contIso.Readings[ContenderCore]}, Lat: &lat, Scenario: core.Scenario1()}
+		ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		appSrc.Reset()
+		contSrc.Reset()
+		multi, err := sim.Run(lat, map[int]sim.Task{
+			AnalysedCore:  {Kind: tricore.TC16P, Src: appSrc},
+			ContenderCore: {Kind: tricore.TC16P, Src: contSrc},
+		}, AnalysedCore, sim.Config{JitterSeed: uint64(i) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Cycles > ilpE.WCET() {
+			t.Errorf("sample %d: observed-with-jitter %d exceeds ILP WCET %d", i, multi.Cycles, ilpE.WCET())
+		}
+	}
+}
+
+// TestRandomizedSoundnessWithPrefetch injects the flash prefetch buffers
+// into the co-scheduled run: service times only shrink, so the bounds
+// derived from prefetch-less worst-case latencies must still hold.
+func TestRandomizedSoundnessWithPrefetch(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xCAFE))
+	for i := 0; i < 10; i++ {
+		appSrc := randomTrace(rng, AnalysedCore, 300)
+		contSrc := randomTrace(rng, ContenderCore, 600)
+
+		iso, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		contIso, err := sim.RunIsolation(lat, ContenderCore, sim.Task{Kind: tricore.TC16P, Src: contSrc}, sim.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := core.Input{A: iso.Readings[AnalysedCore], B: []dsu.Readings{contIso.Readings[ContenderCore]}, Lat: &lat, Scenario: core.Scenario1()}
+		ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		appSrc.Reset()
+		contSrc.Reset()
+		multi, err := sim.Run(lat, map[int]sim.Task{
+			AnalysedCore:  {Kind: tricore.TC16P, Src: appSrc},
+			ContenderCore: {Kind: tricore.TC16P, Src: contSrc},
+		}, AnalysedCore, sim.Config{FlashPrefetch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if multi.Cycles > ilpE.WCET() {
+			t.Errorf("sample %d: observed-with-prefetch %d exceeds ILP WCET %d", i, multi.Cycles, ilpE.WCET())
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tricore"
+	"repro/internal/workload"
+)
+
+// SweepPoint is one cell of a design-space exploration: a deployment
+// scenario paired with a candidate co-runner load, and the WCET verdicts
+// each model gives for it.
+type SweepPoint struct {
+	Scenario workload.Scenario
+	Level    workload.Level
+
+	IsolationCycles int64
+	ILP             core.Estimate
+	FTC             core.Estimate
+}
+
+// Verdict classifies a point against an OEM time budget.
+type Verdict int
+
+const (
+	// RejectedByBoth: even the tight bound misses the budget.
+	RejectedByBoth Verdict = iota
+	// NeedsContenderInfo: only the partially time-composable ILP bound
+	// fits; the configuration is safe for the characterised contender
+	// set but not against arbitrary co-runners.
+	NeedsContenderInfo
+	// FullyComposable: even the fTC bound fits; the configuration is
+	// safe against any co-runner.
+	FullyComposable
+)
+
+// String names the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case RejectedByBoth:
+		return "over budget"
+	case NeedsContenderInfo:
+		return "fits with contender knowledge"
+	case FullyComposable:
+		return "fits fully time-composable"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Judge classifies the point against a cycle budget.
+func (p SweepPoint) Judge(budget int64) Verdict {
+	switch {
+	case p.FTC.WCET() <= budget:
+		return FullyComposable
+	case p.ILP.WCET() <= budget:
+		return NeedsContenderInfo
+	default:
+		return RejectedByBoth
+	}
+}
+
+// Sweep explores every (deployment scenario, contender load) combination
+// for the control-loop application — the pre-integration exploration
+// workflow §4.2 advertises ("a powerful and reactive method for OEM and
+// SWPs to explore and evaluate different scheduling allocations and
+// deployment scenarios ... before actual integration"). All numbers come
+// from isolation measurements only; nothing is co-scheduled.
+func Sweep(lat platform.LatencyTable, appIterations int) ([]SweepPoint, error) {
+	var points []SweepPoint
+	for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
+		app, err := workload.ControlLoop(workload.AppConfig{Scenario: sc, Core: AnalysedCore, Iterations: appIterations})
+		if err != nil {
+			return nil, err
+		}
+		iso, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: app}, sim.Config{})
+		if err != nil {
+			return nil, err
+		}
+		appR := iso.Readings[AnalysedCore]
+
+		for _, lv := range workload.Levels {
+			_, contR, err := sizeContender(lat, sc, lv, appR)
+			if err != nil {
+				return nil, err
+			}
+			in := core.Input{A: appR, B: []dsu.Readings{contR}, Lat: &lat, Scenario: coreScenario(sc)}
+			ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+			if err != nil {
+				return nil, err
+			}
+			ftcE, err := core.FTC(in)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, SweepPoint{
+				Scenario:        sc,
+				Level:           lv,
+				IsolationCycles: appR.CCNT,
+				ILP:             ilpE,
+				FTC:             ftcE,
+			})
+		}
+	}
+	return points, nil
+}

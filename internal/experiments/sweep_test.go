@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestSweepCoversTheDesignSpace(t *testing.T) {
+	points, err := Sweep(lat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("%d points, want 6", len(points))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range points {
+		seen[[2]int{int(p.Scenario), int(p.Level)}] = true
+		if p.ILP.WCET() <= p.IsolationCycles {
+			t.Errorf("Sc%d %s: ILP WCET %d not above isolation %d", p.Scenario, p.Level, p.ILP.WCET(), p.IsolationCycles)
+		}
+		if p.FTC.WCET() < p.ILP.WCET() {
+			t.Errorf("Sc%d %s: fTC below ILP", p.Scenario, p.Level)
+		}
+	}
+	if len(seen) != 6 {
+		t.Errorf("duplicate sweep points: %v", seen)
+	}
+}
+
+func TestSweepVerdicts(t *testing.T) {
+	points, err := Sweep(lat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		// A budget below the ILP bound rejects; between the bounds it
+		// needs contender info; above fTC it is fully composable.
+		if v := p.Judge(p.ILP.WCET() - 1); v != RejectedByBoth {
+			t.Errorf("verdict below ILP = %v", v)
+		}
+		if p.FTC.WCET() > p.ILP.WCET() {
+			if v := p.Judge(p.FTC.WCET() - 1); v != NeedsContenderInfo {
+				t.Errorf("verdict between bounds = %v", v)
+			}
+		}
+		if v := p.Judge(p.FTC.WCET()); v != FullyComposable {
+			t.Errorf("verdict at fTC = %v", v)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	if RejectedByBoth.String() == "" || NeedsContenderInfo.String() == "" || FullyComposable.String() == "" {
+		t.Error("empty verdict strings")
+	}
+	if Verdict(9).String() != "Verdict(9)" {
+		t.Error("fallback verdict string")
+	}
+}
+
+// The sweep must show the paper's qualitative DSE payoff somewhere in the
+// space: a budget that fTC rejects but ILP-PTAC certifies.
+func TestSweepExposesComposabilityGap(t *testing.T) {
+	points, err := Sweep(lat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range points {
+		mid := (p.ILP.WCET() + p.FTC.WCET()) / 2
+		if p.Judge(mid) == NeedsContenderInfo {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no point where contender knowledge changes the verdict")
+	}
+}

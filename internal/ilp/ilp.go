@@ -1,0 +1,351 @@
+// Package ilp solves small integer linear programs by branch & bound over
+// the LP relaxation (package lp). It exists because the paper formulates
+// the ILP-PTAC contention model as an integer program over per-target
+// access counts; the instances it generates have a couple of dozen
+// variables and integral data, well inside what an exact branch & bound
+// handles instantly.
+//
+// Variables carry names so the contention model can be inspected and
+// debugged symbolically; Solution.Value looks results up by name.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// Inf is the canonical "no upper bound" value.
+var Inf = lp.Inf
+
+// Sense re-exports the constraint directions.
+type Sense = lp.Sense
+
+// Constraint senses.
+const (
+	LE = lp.LE
+	GE = lp.GE
+	EQ = lp.EQ
+)
+
+// Term is one named coefficient in a linear expression.
+type Term struct {
+	Var   Var
+	Coeff float64
+}
+
+// Var is a handle to a problem variable.
+type Var struct {
+	idx  int
+	name string
+}
+
+// Name returns the variable's name.
+func (v Var) Name() string { return v.name }
+
+// Problem is an integer program: maximize the objective subject to linear
+// constraints, with every variable integer. Build with New.
+type Problem struct {
+	names   []string
+	byName  map[string]int
+	lower   []float64
+	upper   []float64
+	obj     []float64
+	cons    []savedCons
+	integer []bool
+}
+
+type savedCons struct {
+	terms []lp.Term
+	sense Sense
+	rhs   float64
+}
+
+// New returns an empty maximization problem.
+func New() *Problem {
+	return &Problem{byName: make(map[string]int)}
+}
+
+// AddInt adds an integer variable with inclusive bounds [lo, hi] (hi may be
+// Inf) and zero objective coefficient. Names must be unique and non-empty.
+func (p *Problem) AddInt(name string, lo, hi float64) Var {
+	return p.add(name, lo, hi, true)
+}
+
+// AddReal adds a continuous variable (useful for LP-relaxation ablations).
+func (p *Problem) AddReal(name string, lo, hi float64) Var {
+	return p.add(name, lo, hi, false)
+}
+
+func (p *Problem) add(name string, lo, hi float64, integer bool) Var {
+	if name == "" {
+		panic("ilp: empty variable name")
+	}
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("ilp: duplicate variable %q", name))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("ilp: variable %q has empty bounds [%g, %g]", name, lo, hi))
+	}
+	idx := len(p.names)
+	p.names = append(p.names, name)
+	p.byName[name] = idx
+	p.lower = append(p.lower, lo)
+	p.upper = append(p.upper, hi)
+	p.obj = append(p.obj, 0)
+	p.integer = append(p.integer, integer)
+	return Var{idx: idx, name: name}
+}
+
+// SetObjective sets the coefficient of v in the maximized objective.
+func (p *Problem) SetObjective(v Var, coeff float64) {
+	p.obj[v.idx] = coeff
+}
+
+// Add appends the constraint sum(terms) sense rhs.
+func (p *Problem) Add(terms []Term, sense Sense, rhs float64) {
+	ts := make([]lp.Term, len(terms))
+	for i, t := range terms {
+		ts[i] = lp.Term{Var: t.Var.idx, Coeff: t.Coeff}
+	}
+	p.cons = append(p.cons, savedCons{terms: ts, sense: sense, rhs: rhs})
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.names) }
+
+// Solution is the best integer assignment found, together with a proved
+// upper bound on the optimum.
+type Solution struct {
+	// Objective is the incumbent's objective value.
+	Objective float64
+	// UpperBound is a proved bound on the true optimum: no integer
+	// assignment can exceed it. When the search ran to completion it
+	// equals Objective; under a Gap or node cutoff it may be larger by at
+	// most the configured gap. Consumers needing a *sound over-
+	// approximation* (such as WCET contention bounds) must read
+	// UpperBound, not Objective.
+	UpperBound float64
+	values     map[string]float64
+	// Nodes is the number of branch & bound nodes explored.
+	Nodes int
+}
+
+// Value returns the value of the named variable, panicking on unknown
+// names (a misspelled name in model code is a bug, not a runtime
+// condition).
+func (s Solution) Value(name string) float64 {
+	v, ok := s.values[name]
+	if !ok {
+		panic(fmt.Sprintf("ilp: no variable %q in solution", name))
+	}
+	return v
+}
+
+// Int returns the named value rounded to the nearest integer.
+func (s Solution) Int(name string) int64 {
+	return int64(math.Round(s.Value(name)))
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("ilp: problem is infeasible")
+	ErrUnbounded  = errors.New("ilp: problem is unbounded")
+	ErrNodeLimit  = errors.New("ilp: branch & bound node limit exceeded")
+)
+
+// Options tunes Solve.
+type Options struct {
+	// MaxNodes bounds the branch & bound tree; 0 means the default (1e6).
+	MaxNodes int
+	// Gap, when positive, lets the search stop once the proved optimality
+	// gap (UpperBound - Objective) is at most Gap. Large symmetric
+	// instances — many equal-cost integer splits of the same budget —
+	// have plateaus that exact search must enumerate; a gap of one
+	// request latency collapses them while UpperBound stays sound.
+	Gap float64
+}
+
+const defaultMaxNodes = 1_000_000
+
+// intTol is the integrality tolerance: relaxation values this close to an
+// integer are accepted as integral.
+const intTol = 1e-6
+
+type node struct {
+	lower, upper []float64
+	// bound is the parent relaxation objective, used for best-first
+	// ordering and pruning.
+	bound float64
+}
+
+// Solve maximizes the problem over integer assignments.
+func (p *Problem) Solve(opts Options) (Solution, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = defaultMaxNodes
+	}
+
+	// When every objective coefficient is integral and every variable
+	// with a non-zero coefficient is integer, all integer-feasible
+	// objective values are integers, so a node whose relaxation bound
+	// rounds down to the incumbent value cannot improve on it. This
+	// integral pruning is what keeps the large-count contention ILPs
+	// (tens of thousands of requests) at a handful of nodes.
+	objIntegral := true
+	for j, c := range p.obj {
+		if c != math.Trunc(c) || (c != 0 && !p.integer[j]) {
+			objIntegral = false
+			break
+		}
+	}
+	dominated := func(bound, incumbent float64) bool {
+		if math.IsInf(incumbent, -1) {
+			return false
+		}
+		if objIntegral {
+			return math.Floor(bound+intTol) <= incumbent+intTol
+		}
+		return bound <= incumbent+intTol
+	}
+
+	root := node{lower: append([]float64(nil), p.lower...), upper: append([]float64(nil), p.upper...), bound: math.Inf(1)}
+	stack := []node{root}
+	var best *Solution
+	bestObj := math.Inf(-1)
+	rootBound := math.Inf(1)
+	nodes := 0
+
+	// openBound is the largest relaxation bound among unexplored nodes —
+	// the current proof of what the optimum cannot exceed.
+	openBound := func() float64 {
+		ub := math.Inf(-1)
+		for _, n := range stack {
+			if n.bound > ub {
+				ub = n.bound
+			}
+		}
+		if !math.IsInf(rootBound, 1) && rootBound < ub {
+			ub = rootBound
+		}
+		return ub
+	}
+
+	for len(stack) > 0 {
+		if nodes >= maxNodes {
+			return Solution{}, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, nodes)
+		}
+		nodes++
+		// Depth-first: take the most recent node.
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if dominated(n.bound, bestObj) {
+			continue // parent bound already dominated
+		}
+
+		sol, err := p.solveRelaxation(n)
+		if err != nil {
+			return Solution{}, err
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// An unbounded relaxation at the root means the ILP is
+			// unbounded (with integral data there is an integer ray).
+			return Solution{}, ErrUnbounded
+		}
+		if nodes == 1 {
+			rootBound = sol.Objective
+		}
+		if dominated(sol.Objective, bestObj) {
+			continue
+		}
+
+		// Find the most fractional variable.
+		branch := -1
+		worst := intTol
+		for j, x := range sol.X {
+			if !p.integer[j] {
+				continue
+			}
+			frac := math.Abs(x - math.Round(x))
+			if frac > worst {
+				worst = frac
+				branch = j
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			vals := make(map[string]float64, len(p.names))
+			for j, name := range p.names {
+				x := sol.X[j]
+				if p.integer[j] {
+					x = math.Round(x)
+				}
+				vals[name] = x
+			}
+			bestObj = sol.Objective
+			best = &Solution{Objective: sol.Objective, values: vals}
+			// With an integral objective, an incumbent matching the
+			// floored root relaxation bound is provably optimal — stop
+			// without draining the plateau of equal-bound nodes.
+			if objIntegral && bestObj >= math.Floor(rootBound+intTol)-intTol {
+				break
+			}
+			// Gap cutoff: good enough per the caller's tolerance.
+			if opts.Gap > 0 && openBound()-bestObj <= opts.Gap {
+				break
+			}
+			continue
+		}
+
+		// Branch on x_branch <= floor and x_branch >= ceil, diving into
+		// the child nearest the relaxation optimum first (it is pushed
+		// last): following the LP solution finds a strong incumbent in a
+		// handful of dives even on large symmetric instances.
+		x := sol.X[branch]
+		up := node{lower: append([]float64(nil), n.lower...), upper: append([]float64(nil), n.upper...), bound: sol.Objective}
+		up.lower[branch] = math.Ceil(x)
+		down := node{lower: append([]float64(nil), n.lower...), upper: append([]float64(nil), n.upper...), bound: sol.Objective}
+		down.upper[branch] = math.Floor(x)
+		first, second := down, up // nearest child goes second (popped first)
+		if x-math.Floor(x) > 0.5 {
+			first, second = up, down
+		}
+		if first.lower[branch] <= first.upper[branch] {
+			stack = append(stack, first)
+		}
+		if second.lower[branch] <= second.upper[branch] {
+			stack = append(stack, second)
+		}
+	}
+
+	if best == nil {
+		return Solution{}, ErrInfeasible
+	}
+	best.Nodes = nodes
+	best.UpperBound = bestObj
+	if len(stack) > 0 {
+		if ub := openBound(); ub > bestObj {
+			best.UpperBound = ub
+		}
+		if objIntegral {
+			best.UpperBound = math.Floor(best.UpperBound + intTol)
+		}
+	}
+	return *best, nil
+}
+
+func (p *Problem) solveRelaxation(n node) (lp.Solution, error) {
+	rp := lp.NewProblem()
+	for j := range p.names {
+		rp.AddVar(n.lower[j], n.upper[j], p.obj[j])
+	}
+	for _, c := range p.cons {
+		rp.AddConstraint(c.terms, c.sense, c.rhs)
+	}
+	return lp.Solve(rp)
+}

@@ -1,0 +1,385 @@
+// Package lp is a dense two-phase primal simplex solver for small linear
+// programs, written against the needs of the ILP-PTAC contention model: a
+// few dozen variables, bounds, and mixed <=/>=/= constraints. It maximizes
+// a linear objective over non-negative (shifted) variables using Bland's
+// rule, which guarantees termination.
+//
+// The solver is exact enough for the contention models because every
+// coefficient they generate is a small integer (access counts and cycle
+// latencies); tolerances only absorb floating-point round-off.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Inf is the canonical "no upper bound" value.
+var Inf = math.Inf(1)
+
+// Sense is the direction of a constraint.
+type Sense int
+
+const (
+	// LE is <=.
+	LE Sense = iota
+	// GE is >=.
+	GE
+	// EQ is =.
+	EQ
+)
+
+// String renders the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Term is one coefficient in a linear expression.
+type Term struct {
+	Var   int
+	Coeff float64
+}
+
+// Constraint is sum(terms) SENSE rhs.
+type Constraint struct {
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Problem is a linear program: maximize Obj subject to constraints and
+// variable bounds. Build with NewProblem/AddVar/AddConstraint.
+type Problem struct {
+	lower, upper []float64
+	obj          []float64
+	cons         []Constraint
+}
+
+// NewProblem returns an empty maximization problem.
+func NewProblem() *Problem { return &Problem{} }
+
+// NumVars returns the number of variables added so far.
+func (p *Problem) NumVars() int { return len(p.obj) }
+
+// AddVar adds a variable with bounds [lo, hi] (hi may be Inf) and the given
+// objective coefficient, returning its index.
+func (p *Problem) AddVar(lo, hi, objCoeff float64) int {
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable bounds [%g, %g] are empty", lo, hi))
+	}
+	if math.IsInf(lo, -1) {
+		panic("lp: free variables (lo = -Inf) are not supported")
+	}
+	p.lower = append(p.lower, lo)
+	p.upper = append(p.upper, hi)
+	p.obj = append(p.obj, objCoeff)
+	return len(p.obj) - 1
+}
+
+// AddConstraint adds sum(terms) sense rhs. Terms may repeat a variable;
+// coefficients accumulate.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) {
+	for _, t := range terms {
+		if t.Var < 0 || t.Var >= len(p.obj) {
+			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
+		}
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.cons = append(p.cons, Constraint{Terms: cp, Sense: sense, RHS: rhs})
+}
+
+// Status classifies the solver outcome.
+type Status int
+
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota
+	// Infeasible means no point satisfies the constraints.
+	Infeasible
+	// Unbounded means the objective grows without limit.
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the solver result. X has one entry per problem variable.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+}
+
+// ErrNotConverged is returned if the simplex exceeds its iteration budget,
+// which for these problem sizes indicates a bug rather than a hard
+// instance.
+var ErrNotConverged = errors.New("lp: simplex iteration budget exhausted")
+
+const (
+	tol     = 1e-9
+	maxIter = 200000
+)
+
+// Solve maximizes the problem. The returned error is non-nil only for
+// internal failures (iteration budget); infeasibility and unboundedness are
+// reported in Solution.Status.
+func Solve(p *Problem) (Solution, error) {
+	n := len(p.obj)
+	if n == 0 {
+		return Solution{Status: Optimal}, nil
+	}
+
+	// Shift variables to y = x - lo >= 0 and collect rows. Finite upper
+	// bounds become explicit y <= hi - lo rows.
+	type row struct {
+		coeffs []float64
+		sense  Sense
+		rhs    float64
+	}
+	var rows []row
+	for _, c := range p.cons {
+		r := row{coeffs: make([]float64, n), sense: c.Sense, rhs: c.RHS}
+		for _, t := range c.Terms {
+			r.coeffs[t.Var] += t.Coeff
+			r.rhs -= t.Coeff * p.lower[t.Var] // shift
+		}
+		// Undo the shift accumulation: rhs was adjusted per term above.
+		rows = append(rows, r)
+	}
+	for j := 0; j < n; j++ {
+		if !math.IsInf(p.upper[j], 1) {
+			r := row{coeffs: make([]float64, n), sense: LE, rhs: p.upper[j] - p.lower[j]}
+			r.coeffs[j] = 1
+			rows = append(rows, r)
+		}
+	}
+
+	m := len(rows)
+	// Column layout: [0,n) structural, then one slack/surplus per
+	// inequality, then one artificial per row that needs it.
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	total := n + nSlack + m // upper bound on columns; artificials trimmed later
+	a := make([][]float64, m)
+	basis := make([]int, m)
+	artStart := n + nSlack
+	nArt := 0
+	slackIdx := n
+	for i, r := range rows {
+		a[i] = make([]float64, total+1)
+		copy(a[i], r.coeffs)
+		rhs := r.rhs
+		sense := r.sense
+		if rhs < 0 {
+			for j := 0; j < n; j++ {
+				a[i][j] = -a[i][j]
+			}
+			rhs = -rhs
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		a[i][total] = rhs
+		switch sense {
+		case LE:
+			a[i][slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			a[i][slackIdx] = -1
+			slackIdx++
+			art := artStart + nArt
+			a[i][art] = 1
+			basis[i] = art
+			nArt++
+		case EQ:
+			art := artStart + nArt
+			a[i][art] = 1
+			basis[i] = art
+			nArt++
+		}
+	}
+	nCols := artStart + nArt
+	for i := range a {
+		// Move RHS next to the used columns.
+		a[i][nCols] = a[i][total]
+		a[i] = a[i][:nCols+1]
+	}
+
+	t := &tableau{m: m, n: nCols, a: a, basis: basis}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		cost := make([]float64, nCols)
+		for j := artStart; j < nCols; j++ {
+			cost[j] = 1
+		}
+		obj, status, err := t.minimize(cost)
+		if err != nil {
+			return Solution{}, err
+		}
+		if status == Unbounded {
+			return Solution{}, errors.New("lp: phase-1 unbounded (internal error)")
+		}
+		if obj > 1e-7 {
+			return Solution{Status: Infeasible}, nil
+		}
+		// Pivot any artificial still in the basis out (its value is 0);
+		// if its row has no usable column the row is redundant and the
+		// artificial may stay pinned at zero as long as it never
+		// re-enters: we forbid re-entry by pricing artificials at +Inf
+		// below, implemented by removing their columns.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < artStart {
+				continue
+			}
+			for j := 0; j < artStart; j++ {
+				if math.Abs(t.a[i][j]) > tol {
+					t.pivot(i, j)
+					break
+				}
+			}
+		}
+	}
+
+	// Phase 2: minimize -objective over structural + slack columns only.
+	cost := make([]float64, nCols)
+	for j := 0; j < n; j++ {
+		cost[j] = -p.obj[j]
+	}
+	blocked := make([]bool, nCols)
+	for j := artStart; j < nCols; j++ {
+		blocked[j] = true
+	}
+	t.blocked = blocked
+	_, status, err := t.minimize(cost)
+	if err != nil {
+		return Solution{}, err
+	}
+	if status == Unbounded {
+		return Solution{Status: Unbounded}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b < n {
+			x[b] = t.a[i][t.n]
+		}
+	}
+	var objVal float64
+	for j := 0; j < n; j++ {
+		x[j] += p.lower[j] // unshift
+		objVal += p.obj[j] * x[j]
+	}
+	return Solution{Status: Optimal, Objective: objVal, X: x}, nil
+}
+
+// tableau is a dense simplex tableau: m rows by n columns plus an RHS
+// column at index n.
+type tableau struct {
+	m, n    int
+	a       [][]float64
+	basis   []int
+	blocked []bool // columns that may not enter the basis
+}
+
+func (t *tableau) pivot(r, c int) {
+	pr := t.a[r]
+	pv := pr[c]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * pr[j]
+		}
+	}
+	t.basis[r] = c
+}
+
+// minimize runs the primal simplex with Bland's rule on the given cost
+// vector starting from the current basic feasible solution. It returns the
+// achieved objective value.
+func (t *tableau) minimize(cost []float64) (float64, Status, error) {
+	for iter := 0; iter < maxIter; iter++ {
+		// Reduced costs: d_j = cost_j - cB . B^-1 A_j. The tableau is
+		// already B^-1 A, so d_j = cost_j - sum_i cost[basis[i]]*a[i][j].
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if t.blocked != nil && t.blocked[j] {
+				continue
+			}
+			d := cost[j]
+			for i := 0; i < t.m; i++ {
+				if cb := cost[t.basis[i]]; cb != 0 {
+					d -= cb * t.a[i][j]
+				}
+			}
+			if d < -tol {
+				enter = j // Bland: first improving index
+				break
+			}
+		}
+		if enter < 0 {
+			var obj float64
+			for i := 0; i < t.m; i++ {
+				obj += cost[t.basis[i]] * t.a[i][t.n]
+			}
+			return obj, Optimal, nil
+		}
+		// Ratio test with Bland tie-break on smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > tol {
+				ratio := t.a[i][t.n] / t.a[i][enter]
+				if ratio < best-tol || (ratio < best+tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, Unbounded, nil
+		}
+		t.pivot(leave, enter)
+	}
+	return 0, Optimal, ErrNotConverged
+}

@@ -1,0 +1,312 @@
+package lp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSenseStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Error("sense strings")
+	}
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || Unbounded.String() != "unbounded" {
+		t.Error("status strings")
+	}
+	if Sense(9).String() == "" || Status(9).String() == "" {
+		t.Error("fallback strings empty")
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	s, err := Solve(NewProblem())
+	if err != nil || s.Status != Optimal {
+		t.Fatalf("empty problem: %v %v", s.Status, err)
+	}
+}
+
+func TestSimpleMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6; opt at (4, 0) = 12.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 3)
+	y := p.AddVar(0, Inf, 2)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, LE, 4)
+	p.AddConstraint([]Term{{x, 1}, {y, 3}}, LE, 6)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 12) {
+		t.Fatalf("got %v obj=%g, want optimal 12", s.Status, s.Objective)
+	}
+	if !approx(s.X[x], 4) || !approx(s.X[y], 0) {
+		t.Errorf("x=%g y=%g, want 4, 0", s.X[x], s.X[y])
+	}
+}
+
+func TestInteriorOptimum(t *testing.T) {
+	// max x + y s.t. 2x + y <= 10, x + 2y <= 10; opt at (10/3, 10/3).
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	y := p.AddVar(0, Inf, 1)
+	p.AddConstraint([]Term{{x, 2}, {y, 1}}, LE, 10)
+	p.AddConstraint([]Term{{x, 1}, {y, 2}}, LE, 10)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 20.0/3) {
+		t.Errorf("obj = %g, want 20/3", s.Objective)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x s.t. x + y = 5, y >= 2  =>  x = 3.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	y := p.AddVar(0, Inf, 0)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{y, 1}}, GE, 2)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 3) {
+		t.Fatalf("status=%v obj=%g, want optimal 3", s.Status, s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	p.AddConstraint([]Term{{x, 1}}, GE, 5)
+	p.AddConstraint([]Term{{x, 1}}, LE, 3)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 10, 1)
+	y := p.AddVar(0, 10, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 30)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	y := p.AddVar(0, Inf, 0)
+	p.AddConstraint([]Term{{x, 1}, {y, -1}}, LE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestVariableBounds(t *testing.T) {
+	// max x + y with x in [1, 3], y in [2, 2].
+	p := NewProblem()
+	x := p.AddVar(1, 3, 1)
+	y := p.AddVar(2, 2, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 5) || !approx(s.X[x], 3) || !approx(s.X[y], 2) {
+		t.Errorf("obj=%g x=%g y=%g, want 5, 3, 2", s.Objective, s.X[x], s.X[y])
+	}
+}
+
+func TestLowerBoundShiftInConstraints(t *testing.T) {
+	// max x s.t. x + y <= 10 with y fixed at 4 by bounds: x = 6.
+	p := NewProblem()
+	p.AddVar(0, Inf, 1)
+	p.AddVar(4, 4, 0)
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 10)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 6) {
+		t.Errorf("obj = %g, want 6", s.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// max -x s.t. -x <= -2  (i.e. x >= 2): opt x=2, obj=-2.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, -1)
+	p.AddConstraint([]Term{{x, -1}}, LE, -2)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.X[x], 2) {
+		t.Errorf("status=%v x=%g, want optimal x=2", s.Status, s.X[x])
+	}
+}
+
+func TestRepeatedTermsAccumulate(t *testing.T) {
+	// x + x <= 4 means x <= 2.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	p.AddConstraint([]Term{{x, 1}, {x, 1}}, LE, 4)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(s.Objective, 2) {
+		t.Errorf("obj = %g, want 2", s.Objective)
+	}
+}
+
+func TestDegenerateProblemTerminates(t *testing.T) {
+	// A classic degenerate instance; Bland's rule must terminate.
+	p := NewProblem()
+	x1 := p.AddVar(0, Inf, 10)
+	x2 := p.AddVar(0, Inf, -57)
+	x3 := p.AddVar(0, Inf, -9)
+	x4 := p.AddVar(0, Inf, -24)
+	p.AddConstraint([]Term{{x1, 0.5}, {x2, -5.5}, {x3, -2.5}, {x4, 9}}, LE, 0)
+	p.AddConstraint([]Term{{x1, 0.5}, {x2, -1.5}, {x3, -0.5}, {x4, 1}}, LE, 0)
+	p.AddConstraint([]Term{{x1, 1}}, LE, 1)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 1) {
+		t.Errorf("status=%v obj=%g, want optimal 1", s.Status, s.Objective)
+	}
+}
+
+func TestAddVarPanics(t *testing.T) {
+	p := NewProblem()
+	for name, f := range map[string]func(){
+		"empty bounds": func() { p.AddVar(3, 1, 0) },
+		"free var":     func() { p.AddVar(math.Inf(-1), 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAddConstraintUnknownVarPanics(t *testing.T) {
+	p := NewProblem()
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown var did not panic")
+		}
+	}()
+	p.AddConstraint([]Term{{3, 1}}, LE, 1)
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Duplicate equality rows leave an artificial pinned in the basis;
+	// the solver must still find the optimum.
+	p := NewProblem()
+	x := p.AddVar(0, Inf, 1)
+	y := p.AddVar(0, Inf, 1)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{x, 1}, {y, 1}}, EQ, 5)
+	p.AddConstraint([]Term{{x, 2}, {y, 2}}, EQ, 10)
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal || !approx(s.Objective, 5) {
+		t.Errorf("status=%v obj=%g, want optimal 5", s.Status, s.Objective)
+	}
+}
+
+// Property: for max sum(x) s.t. sum(x) <= b with k vars, the optimum is b.
+func TestSumBoundProperty(t *testing.T) {
+	f := func(kRaw, bRaw uint8) bool {
+		k := int(kRaw%5) + 1
+		b := float64(bRaw % 100)
+		p := NewProblem()
+		terms := make([]Term, k)
+		for i := 0; i < k; i++ {
+			v := p.AddVar(0, Inf, 1)
+			terms[i] = Term{v, 1}
+		}
+		p.AddConstraint(terms, LE, b)
+		s, err := Solve(p)
+		return err == nil && s.Status == Optimal && approx(s.Objective, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: solutions respect every constraint and bound.
+func TestSolutionFeasibilityProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Random small LP: 3 vars, 3 LE constraints with small positive
+		// coefficients — always feasible (origin) and bounded.
+		rnd := seed
+		next := func() float64 {
+			rnd = rnd*1664525 + 1013904223
+			return float64(rnd%7) + 1
+		}
+		p := NewProblem()
+		for i := 0; i < 3; i++ {
+			p.AddVar(0, Inf, next())
+		}
+		type c struct {
+			terms []Term
+			rhs   float64
+		}
+		var cons []c
+		for i := 0; i < 3; i++ {
+			terms := []Term{{0, next()}, {1, next()}, {2, next()}}
+			rhs := next() * 10
+			p.AddConstraint(terms, LE, rhs)
+			cons = append(cons, c{terms, rhs})
+		}
+		s, err := Solve(p)
+		if err != nil || s.Status != Optimal {
+			return false
+		}
+		for _, cc := range cons {
+			var lhs float64
+			for _, tm := range cc.terms {
+				lhs += tm.Coeff * s.X[tm.Var]
+			}
+			if lhs > cc.rhs+1e-6 {
+				return false
+			}
+		}
+		for _, x := range s.X {
+			if x < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Placement states where one class of a task's memory footprint lives and
+// whether it is accessed through a cacheable segment.
+type Placement struct {
+	Target    Target
+	Cacheable bool
+}
+
+// String formats the placement as e.g. "pf0($)" or "lmu(n$)".
+func (p Placement) String() string {
+	c := "n$"
+	if p.Cacheable {
+		c = "$"
+	}
+	return fmt.Sprintf("%s(%s)", p.Target, c)
+}
+
+// ErrPlacement reports a deployment that violates the TC27x architectural
+// constraints of Table 3.
+var ErrPlacement = errors.New("platform: placement violates TC27x constraints")
+
+// ValidatePlacement checks one placement of code or data against the
+// architectural constraint matrix of the paper's Table 3:
+//
+//	            pf0  pf1  dfl  lmu
+//	code  $      ok   ok   no   ok
+//	code  n$     ok   ok   no   ok
+//	data  $      ok   ok   no   ok
+//	data  n$     no   no   ok   ok
+//
+// Code can never be fetched from the data flash; non-cacheable data cannot
+// be placed in program flash.
+func ValidatePlacement(o Op, p Placement) error {
+	if !o.Valid() || !p.Target.Valid() {
+		return fmt.Errorf("%w: invalid op %v or target %v", ErrPlacement, o, p.Target)
+	}
+	if o == Code && p.Target == DFL {
+		return fmt.Errorf("%w: code cannot be fetched from dfl", ErrPlacement)
+	}
+	if o == Data && !p.Cacheable && (p.Target == PF0 || p.Target == PF1) {
+		return fmt.Errorf("%w: non-cacheable data cannot be placed in %s", ErrPlacement, p.Target)
+	}
+	if o == Data && p.Cacheable && p.Target == DFL {
+		return fmt.Errorf("%w: cacheable data cannot be placed in dfl", ErrPlacement)
+	}
+	return nil
+}
+
+// Deployment is a task's memory-deployment configuration: where the parts
+// of its code and data that do not fit in the local scratchpads live. A
+// task may have several placements per class (e.g. constant data in pf0 and
+// shared buffers in the lmu). Scratchpad-resident code and data generate no
+// SRI traffic and are not listed.
+type Deployment struct {
+	Code []Placement
+	Data []Placement
+}
+
+// Validate checks every placement against Table 3.
+func (d Deployment) Validate() error {
+	for _, p := range d.Code {
+		if err := ValidatePlacement(Code, p); err != nil {
+			return fmt.Errorf("code placement %s: %w", p, err)
+		}
+	}
+	for _, p := range d.Data {
+		if err := ValidatePlacement(Data, p); err != nil {
+			return fmt.Errorf("data placement %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// String renders the deployment compactly, e.g.
+// "code:[pf0($) pf1($)] data:[lmu(n$)]".
+func (d Deployment) String() string {
+	var b strings.Builder
+	b.WriteString("code:[")
+	for i, p := range d.Code {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("] data:[")
+	for i, p := range d.Data {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// MayAccess reports whether the deployment can generate SRI traffic of
+// operation o on target t. The models use this to zero out infeasible PTAC
+// variables.
+func (d Deployment) MayAccess(t Target, o Op) bool {
+	pls := d.Code
+	if o == Data {
+		pls = d.Data
+	}
+	for _, p := range pls {
+		if p.Target == t {
+			return true
+		}
+	}
+	return false
+}
+
+// CacheableDataOnly reports whether every data placement is cacheable;
+// when true the D-cache miss counters cover all SRI data traffic.
+func (d Deployment) CacheableDataOnly() bool {
+	for _, p := range d.Data {
+		if !p.Cacheable {
+			return false
+		}
+	}
+	return true
+}
+
+// Scenario1 returns the deployment of the paper's evaluation Scenario 1
+// (Figure 3-a): cacheable code fetched from pf0/pf1, non-cacheable data
+// shared among cores in the lmu; the rest of the footprint is in local
+// scratchpads. Because all code reaching the SRI is cacheable, PCACHE_MISS
+// counts the task's SRI code requests exactly.
+func Scenario1() Deployment {
+	return Deployment{
+		Code: []Placement{{PF0, true}, {PF1, true}},
+		Data: []Placement{{LMU, false}},
+	}
+}
+
+// Scenario2 returns the deployment of the paper's evaluation Scenario 2
+// (Figure 3-b): cacheable code from pf0/pf1, data in the lmu both cacheable
+// and non-cacheable, and constant cacheable data in pf0/pf1.
+func Scenario2() Deployment {
+	return Deployment{
+		Code: []Placement{{PF0, true}, {PF1, true}},
+		Data: []Placement{{LMU, true}, {LMU, false}, {PF0, true}, {PF1, true}},
+	}
+}

@@ -1,0 +1,146 @@
+package platform
+
+import "fmt"
+
+// Addr is a 32-bit physical address on the TC27x.
+type Addr = uint32
+
+// RegionKind classifies what backs an address: a core-local scratchpad
+// (no SRI traffic) or one of the shared SRI targets.
+type RegionKind int
+
+const (
+	// RegionPSPR is a program scratchpad, local to one core.
+	RegionPSPR RegionKind = iota
+	// RegionDSPR is a data scratchpad, local to one core.
+	RegionDSPR
+	// RegionSRI is a shared memory reached through the SRI crossbar.
+	RegionSRI
+	// RegionInvalid marks an unmapped address.
+	RegionInvalid
+)
+
+// Region describes the mapping of one address.
+type Region struct {
+	Kind RegionKind
+	// Core is the owning core index for scratchpad regions (0..2).
+	Core int
+	// Target is the SRI slave for RegionSRI regions.
+	Target Target
+	// Cacheable reports whether the address segment is cached. On the
+	// TC27x cacheability is selected by the address segment used (segment
+	// 0x8/0x9 cached, 0xA/0xB non-cached mirrors).
+	Cacheable bool
+}
+
+// The simulated memory map follows the TC27x layout: per-core scratchpads
+// in segments 0x5-0x7, program flash in segment 0x8 (cached) mirrored at
+// 0xA (non-cached), data flash at 0xAF000000, and the LMU SRAM in segment
+// 0x9 (cached) mirrored at 0xB (non-cached).
+const (
+	// DSPRBase is the base of a core's data scratchpad within its segment.
+	DSPRBase Addr = 0x0000_0000
+	// PSPRBase is the base of a core's program scratchpad within its
+	// segment.
+	PSPRBase Addr = 0x0010_0000
+
+	// Core segment bases: CPU2 at 0x5, CPU1 at 0x6, CPU0 at 0x7, as on the
+	// real part.
+	core2Seg Addr = 0x5000_0000
+	core1Seg Addr = 0x6000_0000
+	core0Seg Addr = 0x7000_0000
+
+	// PFlash0Base is the cached base of program-flash bank 0 (1 MiB).
+	PFlash0Base Addr = 0x8000_0000
+	// PFlash1Base is the cached base of program-flash bank 1 (1 MiB).
+	PFlash1Base Addr = 0x8010_0000
+	// PFlashSize is the size of each program-flash bank.
+	PFlashSize Addr = 0x0010_0000
+
+	// LMUBase is the cached base of the 32 KiB LMU SRAM.
+	LMUBase Addr = 0x9000_0000
+	// LMUSize is the size of the LMU SRAM.
+	LMUSize Addr = 0x0000_8000
+
+	// DFlashBase is the base of the 384 KiB data flash. Data flash is
+	// only ever accessed non-cached (Table 3: cacheable data on dfl is
+	// architecturally excluded).
+	DFlashBase Addr = 0xAF00_0000
+	// DFlashSize is the size of the data flash.
+	DFlashSize Addr = 0x0006_0000
+
+	// UncachedBit, when set on a segment-0x8/0x9 address, selects the
+	// non-cached mirror (segment 0xA/0xB).
+	UncachedBit Addr = 0x2000_0000
+
+	// ScratchpadSize bounds each scratchpad (PSPR or DSPR) region; the
+	// real sizes differ per core (e.g. 120 KiB DSPR on the 1.6P) but the
+	// map only needs an upper envelope.
+	ScratchpadSize Addr = 0x0002_0000
+)
+
+// Uncached returns the non-cached mirror of a cached flash or LMU address.
+func Uncached(a Addr) Addr { return a | UncachedBit }
+
+// Cached returns the cached view of a flash or LMU address.
+func Cached(a Addr) Addr { return a &^ UncachedBit }
+
+// CoreSegment returns the segment base address of core i's scratchpads.
+func CoreSegment(core int) Addr {
+	switch core {
+	case 0:
+		return core0Seg
+	case 1:
+		return core1Seg
+	case 2:
+		return core2Seg
+	default:
+		panic(fmt.Sprintf("platform: no core %d on the TC27x", core))
+	}
+}
+
+// PSPRAddr returns an address inside core i's program scratchpad.
+func PSPRAddr(core int, off Addr) Addr { return CoreSegment(core) + PSPRBase + off }
+
+// DSPRAddr returns an address inside core i's data scratchpad.
+func DSPRAddr(core int, off Addr) Addr { return CoreSegment(core) + DSPRBase + off }
+
+// Decode classifies an address against the TC27x memory map.
+func Decode(a Addr) Region {
+	seg := a >> 28
+	switch seg {
+	case 0x5, 0x6, 0x7:
+		core := int(0x7 - seg)
+		off := a & 0x0FFF_FFFF
+		switch {
+		case off >= PSPRBase && off < PSPRBase+ScratchpadSize:
+			return Region{Kind: RegionPSPR, Core: core}
+		case off < ScratchpadSize:
+			return Region{Kind: RegionDSPR, Core: core}
+		}
+		return Region{Kind: RegionInvalid}
+	case 0x8, 0xA:
+		cacheable := seg == 0x8
+		off := a & 0x0FFF_FFFF
+		if seg == 0xA && a >= DFlashBase && a < DFlashBase+DFlashSize {
+			// Data flash lives in the non-cached segment only.
+			return Region{Kind: RegionSRI, Target: DFL, Cacheable: false}
+		}
+		switch {
+		case off < PFlashSize:
+			return Region{Kind: RegionSRI, Target: PF0, Cacheable: cacheable}
+		case off < 2*PFlashSize:
+			return Region{Kind: RegionSRI, Target: PF1, Cacheable: cacheable}
+		}
+		return Region{Kind: RegionInvalid}
+	case 0x9, 0xB:
+		cacheable := seg == 0x9
+		off := a & 0x0FFF_FFFF
+		if off < LMUSize {
+			return Region{Kind: RegionSRI, Target: LMU, Cacheable: cacheable}
+		}
+		return Region{Kind: RegionInvalid}
+	default:
+		return Region{Kind: RegionInvalid}
+	}
+}

@@ -1,0 +1,136 @@
+// Package platform describes the AURIX TC27x hardware platform as seen by
+// the contention models and by the cycle-level simulator: the SRI slave
+// interfaces (targets), the operation types arbitrated on them, the
+// per-(target, operation) latency and stall tables reported in the paper
+// (Table 2), the memory map with cacheable and non-cacheable address
+// segments, and the deployment-configuration rules of Table 3.
+//
+// Everything in this package is a plain value type; it carries no simulator
+// state. The simulator (internal/sim and friends) and the analytical models
+// (internal/core) both consume the same Platform description so that what
+// the models assume and what the simulated hardware does cannot drift apart.
+package platform
+
+import "fmt"
+
+// Target identifies one SRI slave interface. The AURIX TC27x memory system
+// exposes the Program Flash banks through two independent PMU interfaces
+// (PF0, PF1), the Data Flash through a third (DFL), and the LMU SRAM through
+// the LMU interface. Contention happens per target: the SRI crossbar serves
+// requests to distinct targets in parallel and arbitrates requests to the
+// same target round-robin.
+type Target int
+
+const (
+	// PF0 is the first program-flash interface of the PMU.
+	PF0 Target = iota
+	// PF1 is the second program-flash interface of the PMU.
+	PF1
+	// DFL is the data-flash interface of the PMU.
+	DFL
+	// LMU is the Local Memory Unit SRAM interface.
+	LMU
+	// NumTargets is the number of SRI slave interfaces.
+	NumTargets
+)
+
+// Targets lists all SRI targets in a stable order. It is the set T of the
+// paper.
+var Targets = [NumTargets]Target{PF0, PF1, DFL, LMU}
+
+// String returns the paper's name for the target (pf0, pf1, dfl, lmu).
+func (t Target) String() string {
+	switch t {
+	case PF0:
+		return "pf0"
+	case PF1:
+		return "pf1"
+	case DFL:
+		return "dfl"
+	case LMU:
+		return "lmu"
+	default:
+		return fmt.Sprintf("Target(%d)", int(t))
+	}
+}
+
+// Valid reports whether t is one of the four SRI targets.
+func (t Target) Valid() bool { return t >= 0 && t < NumTargets }
+
+// Op is the type of operation a request performs on an SRI target. The
+// paper discriminates only between code (instruction fetch) and data
+// (load/store) requests; within each class the latency table already folds
+// reads and writes together by taking the maximum.
+type Op int
+
+const (
+	// Code is an instruction-fetch request.
+	Code Op = iota
+	// Data is a data load or store request.
+	Data
+	// NumOps is the number of operation types.
+	NumOps
+)
+
+// Ops lists the operation types in a stable order. It is the set O of the
+// paper.
+var Ops = [NumOps]Op{Code, Data}
+
+// String returns the paper's name for the operation type (co, da).
+func (o Op) String() string {
+	switch o {
+	case Code:
+		return "co"
+	case Data:
+		return "da"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Valid reports whether o is Code or Data.
+func (o Op) Valid() bool { return o >= 0 && o < NumOps }
+
+// CanAccess reports whether an operation of type o may legally target t on
+// the TC27x. Code can be fetched from the program-flash banks and the LMU
+// but never from the data flash; data can reach every target (data in
+// program flash is constant data). This is the access-path structure of the
+// paper's Figure 2.
+func CanAccess(t Target, o Op) bool {
+	if !t.Valid() || !o.Valid() {
+		return false
+	}
+	if o == Code && t == DFL {
+		return false
+	}
+	return true
+}
+
+// AccessPairs returns the list of legal (target, op) pairs, in stable
+// order: the seven access paths of Figure 2 (3 code paths + 4 data paths).
+func AccessPairs() []TargetOp {
+	pairs := make([]TargetOp, 0, 7)
+	for _, o := range Ops {
+		for _, t := range Targets {
+			if CanAccess(t, o) {
+				pairs = append(pairs, TargetOp{Target: t, Op: o})
+			}
+		}
+	}
+	return pairs
+}
+
+// TargetOp is a (target, operation) pair, the index of every per-access
+// latency or count in the models.
+type TargetOp struct {
+	Target Target
+	Op     Op
+}
+
+// String formats the pair as "target/op", e.g. "pf0/co".
+func (to TargetOp) String() string {
+	return to.Target.String() + "/" + to.Op.String()
+}
+
+// Valid reports whether the pair denotes a legal access path.
+func (to TargetOp) Valid() bool { return CanAccess(to.Target, to.Op) }

@@ -1,0 +1,292 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTargetString(t *testing.T) {
+	want := map[Target]string{PF0: "pf0", PF1: "pf1", DFL: "dfl", LMU: "lmu"}
+	for tg, s := range want {
+		if got := tg.String(); got != s {
+			t.Errorf("Target(%d).String() = %q, want %q", int(tg), got, s)
+		}
+	}
+	if got := Target(99).String(); got != "Target(99)" {
+		t.Errorf("invalid target string = %q", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Code.String() != "co" || Data.String() != "da" {
+		t.Errorf("op strings = %q, %q", Code, Data)
+	}
+	if got := Op(7).String(); got != "Op(7)" {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestCanAccess(t *testing.T) {
+	cases := []struct {
+		t    Target
+		o    Op
+		want bool
+	}{
+		{PF0, Code, true}, {PF1, Code, true}, {LMU, Code, true},
+		{DFL, Code, false},
+		{PF0, Data, true}, {PF1, Data, true}, {LMU, Data, true}, {DFL, Data, true},
+		{Target(-1), Code, false}, {PF0, Op(5), false},
+	}
+	for _, c := range cases {
+		if got := CanAccess(c.t, c.o); got != c.want {
+			t.Errorf("CanAccess(%v, %v) = %v, want %v", c.t, c.o, got, c.want)
+		}
+	}
+}
+
+func TestAccessPairs(t *testing.T) {
+	pairs := AccessPairs()
+	if len(pairs) != 7 {
+		t.Fatalf("AccessPairs returned %d pairs, want 7 (3 code + 4 data paths of Figure 2)", len(pairs))
+	}
+	seen := map[TargetOp]bool{}
+	for _, p := range pairs {
+		if !p.Valid() {
+			t.Errorf("invalid pair %v in AccessPairs", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate pair %v", p)
+		}
+		seen[p] = true
+	}
+	if seen[TargetOp{DFL, Code}] {
+		t.Error("dfl/co must not be an access pair")
+	}
+}
+
+func TestTargetOpString(t *testing.T) {
+	if got := (TargetOp{PF1, Data}).String(); got != "pf1/da" {
+		t.Errorf("TargetOp string = %q, want pf1/da", got)
+	}
+}
+
+func TestTC27xLatenciesMatchTable2(t *testing.T) {
+	lt := TC27xLatencies()
+	if err := lt.Validate(); err != nil {
+		t.Fatalf("TC27x latency table invalid: %v", err)
+	}
+	check := func(tg Target, o Op, max, min, stall int64) {
+		t.Helper()
+		l, err := lt.Lookup(tg, o)
+		if err != nil {
+			t.Fatalf("Lookup(%v, %v): %v", tg, o, err)
+		}
+		if l.Max != max || l.Min != min || l.Stall != stall {
+			t.Errorf("%v/%v = %+v, want {Max:%d Min:%d Stall:%d}", tg, o, l, max, min, stall)
+		}
+	}
+	// Table 2 of the paper.
+	check(LMU, Code, 11, 11, 11)
+	check(LMU, Data, 11, 11, 10)
+	check(PF0, Code, 16, 12, 6)
+	check(PF1, Code, 16, 12, 6)
+	check(PF0, Data, 16, 12, 11)
+	check(PF1, Data, 16, 12, 11)
+	check(DFL, Data, 43, 43, 42)
+	if TC27xLMUDirtyMissLatency != 21 {
+		t.Errorf("dirty LMU miss latency = %d, want 21", TC27xLMUDirtyMissLatency)
+	}
+}
+
+func TestLatencyLookupIllegalPair(t *testing.T) {
+	lt := TC27xLatencies()
+	if _, err := lt.Lookup(DFL, Code); err == nil {
+		t.Error("Lookup(dfl, co) succeeded, want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MaxLatency(dfl, co) did not panic")
+		}
+	}()
+	lt.MaxLatency(DFL, Code)
+}
+
+func TestMinStallFor(t *testing.T) {
+	lt := TC27xLatencies()
+	// cs^co_min = min(6, 6, 11) = 6 (Eq. 2).
+	if got := lt.MinStallFor(Code); got != 6 {
+		t.Errorf("MinStallFor(Code) = %d, want 6", got)
+	}
+	// cs^da_min = min(11, 11, 10, 42) = 10 (Eq. 3).
+	if got := lt.MinStallFor(Data); got != 10 {
+		t.Errorf("MinStallFor(Data) = %d, want 10", got)
+	}
+}
+
+func TestMaxLatencyFor(t *testing.T) {
+	lt := TC27xLatencies()
+	// l^co_max = max over pf0,pf1,lmu of both ops = 16 (Eq. 6).
+	if got := lt.MaxLatencyFor(Code); got != 16 {
+		t.Errorf("MaxLatencyFor(Code) = %d, want 16", got)
+	}
+	// l^da_max additionally sees dfl/da = 43 (Eq. 7).
+	if got := lt.MaxLatencyFor(Data); got != 43 {
+		t.Errorf("MaxLatencyFor(Data) = %d, want 43", got)
+	}
+}
+
+func TestLatencyValidateCatchesCorruption(t *testing.T) {
+	lt := TC27xLatencies()
+	lt[PF0][Code].Min = 99 // min > max
+	if err := lt.Validate(); err == nil {
+		t.Error("Validate accepted min > max")
+	}
+	lt = TC27xLatencies()
+	lt[LMU][Data].Stall = 0
+	if err := lt.Validate(); err == nil {
+		t.Error("Validate accepted zero stall")
+	}
+	lt = TC27xLatencies()
+	lt[DFL][Data].Stall = 44 // stall > max
+	if err := lt.Validate(); err == nil {
+		t.Error("Validate accepted stall > max latency")
+	}
+}
+
+func TestDecodeScratchpads(t *testing.T) {
+	for core := 0; core < 3; core++ {
+		r := Decode(PSPRAddr(core, 0x100))
+		if r.Kind != RegionPSPR || r.Core != core {
+			t.Errorf("PSPR core %d decoded to %+v", core, r)
+		}
+		r = Decode(DSPRAddr(core, 0x200))
+		if r.Kind != RegionDSPR || r.Core != core {
+			t.Errorf("DSPR core %d decoded to %+v", core, r)
+		}
+	}
+}
+
+func TestDecodeSRIRegions(t *testing.T) {
+	cases := []struct {
+		addr      Addr
+		target    Target
+		cacheable bool
+	}{
+		{PFlash0Base, PF0, true},
+		{PFlash0Base + PFlashSize - 4, PF0, true},
+		{PFlash1Base, PF1, true},
+		{Uncached(PFlash0Base), PF0, false},
+		{Uncached(PFlash1Base + 0x40), PF1, false},
+		{LMUBase, LMU, true},
+		{LMUBase + LMUSize - 4, LMU, true},
+		{Uncached(LMUBase), LMU, false},
+		{DFlashBase, DFL, false},
+		{DFlashBase + DFlashSize - 4, DFL, false},
+	}
+	for _, c := range cases {
+		r := Decode(c.addr)
+		if r.Kind != RegionSRI || r.Target != c.target || r.Cacheable != c.cacheable {
+			t.Errorf("Decode(%#x) = %+v, want SRI %v cacheable=%v", c.addr, r, c.target, c.cacheable)
+		}
+	}
+}
+
+func TestDecodeInvalid(t *testing.T) {
+	for _, a := range []Addr{0x0000_0000, 0x1234_5678, 0xF000_0000, LMUBase + LMUSize, PFlash1Base + PFlashSize} {
+		if r := Decode(a); r.Kind != RegionInvalid {
+			t.Errorf("Decode(%#x) = %+v, want invalid", a, r)
+		}
+	}
+}
+
+func TestCachedUncachedRoundTrip(t *testing.T) {
+	f := func(off uint32) bool {
+		a := PFlash0Base + Addr(off%PFlashSize)
+		return Cached(Uncached(a)) == a && Uncached(a) != a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoreSegmentPanicsOnBadCore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("CoreSegment(3) did not panic")
+		}
+	}()
+	CoreSegment(3)
+}
+
+func TestValidatePlacementTable3(t *testing.T) {
+	type row struct {
+		o         Op
+		t         Target
+		cacheable bool
+		ok        bool
+	}
+	// The full Table 3 matrix.
+	rows := []row{
+		{Code, PF0, true, true}, {Code, PF1, true, true}, {Code, DFL, true, false}, {Code, LMU, true, true},
+		{Code, PF0, false, true}, {Code, PF1, false, true}, {Code, DFL, false, false}, {Code, LMU, false, true},
+		{Data, PF0, true, true}, {Data, PF1, true, true}, {Data, DFL, true, false}, {Data, LMU, true, true},
+		{Data, PF0, false, false}, {Data, PF1, false, false}, {Data, DFL, false, true}, {Data, LMU, false, true},
+	}
+	for _, r := range rows {
+		err := ValidatePlacement(r.o, Placement{r.t, r.cacheable})
+		if (err == nil) != r.ok {
+			t.Errorf("ValidatePlacement(%v, %v, cacheable=%v): err=%v, want ok=%v", r.o, r.t, r.cacheable, err, r.ok)
+		}
+	}
+}
+
+func TestDeploymentValidate(t *testing.T) {
+	if err := Scenario1().Validate(); err != nil {
+		t.Errorf("Scenario1 invalid: %v", err)
+	}
+	if err := Scenario2().Validate(); err != nil {
+		t.Errorf("Scenario2 invalid: %v", err)
+	}
+	bad := Deployment{Code: []Placement{{DFL, true}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("deployment with code in dfl validated")
+	}
+	bad = Deployment{Data: []Placement{{PF0, false}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("deployment with non-cacheable data in pf0 validated")
+	}
+}
+
+func TestDeploymentMayAccess(t *testing.T) {
+	d := Scenario1()
+	if !d.MayAccess(PF0, Code) || !d.MayAccess(PF1, Code) {
+		t.Error("Scenario1 must fetch code from pf0/pf1")
+	}
+	if d.MayAccess(LMU, Code) {
+		t.Error("Scenario1 has no code in lmu")
+	}
+	if !d.MayAccess(LMU, Data) {
+		t.Error("Scenario1 must access data in lmu")
+	}
+	if d.MayAccess(DFL, Data) || d.MayAccess(PF0, Data) {
+		t.Error("Scenario1 data only in lmu")
+	}
+}
+
+func TestDeploymentCacheableDataOnly(t *testing.T) {
+	if Scenario1().CacheableDataOnly() {
+		t.Error("Scenario1 data is non-cacheable")
+	}
+	d := Deployment{Data: []Placement{{LMU, true}, {PF0, true}}}
+	if !d.CacheableDataOnly() {
+		t.Error("all-cacheable deployment reported mixed")
+	}
+}
+
+func TestDeploymentString(t *testing.T) {
+	got := Scenario1().String()
+	want := "code:[pf0($) pf1($)] data:[lmu(n$)]"
+	if got != want {
+		t.Errorf("Scenario1.String() = %q, want %q", got, want)
+	}
+}

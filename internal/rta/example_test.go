@@ -1,0 +1,36 @@
+package rta_test
+
+import (
+	"fmt"
+
+	"repro/internal/rta"
+)
+
+// ExampleAnalyze runs the classic three-task response-time analysis.
+func ExampleAnalyze() {
+	tasks := []rta.Task{
+		{Name: "sensor", WCET: 3, Period: 7, Priority: 1},
+		{Name: "control", WCET: 3, Period: 12, Priority: 2},
+		{Name: "logger", WCET: 5, Period: 20, Priority: 3},
+	}
+	results, err := rta.Analyze(tasks)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%s: response %d, schedulable %v\n", r.Task, r.Response, r.Schedulable)
+	}
+	// Output:
+	// sensor: response 3, schedulable true
+	// control: response 6, schedulable true
+	// logger: response 20, schedulable true
+}
+
+// ExampleUtilization computes the processor demand of a task set.
+func ExampleUtilization() {
+	fmt.Printf("%.2f\n", rta.Utilization([]rta.Task{
+		{Name: "a", WCET: 1, Period: 4},
+		{Name: "b", WCET: 1, Period: 2},
+	}))
+	// Output: 0.75
+}

@@ -1,0 +1,190 @@
+package rta
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassicExample(t *testing.T) {
+	// Textbook set (Audsley-style): priorities by index.
+	tasks := []Task{
+		{Name: "t1", WCET: 3, Period: 7, Priority: 1},
+		{Name: "t2", WCET: 3, Period: 12, Priority: 2},
+		{Name: "t3", WCET: 5, Period: 20, Priority: 3},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int64{"t1": 3, "t2": 6, "t3": 20}
+	for _, r := range res {
+		if !r.Schedulable {
+			t.Errorf("%s unschedulable, response %d", r.Task, r.Response)
+		}
+		if r.Response != want[r.Task] {
+			t.Errorf("%s response = %d, want %d", r.Task, r.Response, want[r.Task])
+		}
+	}
+	ok, err := Schedulable(tasks)
+	if err != nil || !ok {
+		t.Errorf("Schedulable = %v, %v", ok, err)
+	}
+}
+
+func TestUnschedulableDetected(t *testing.T) {
+	tasks := []Task{
+		{Name: "hi", WCET: 5, Period: 10, Priority: 1},
+		{Name: "lo", WCET: 6, Period: 12, Priority: 2},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Task == "lo" && r.Schedulable {
+			t.Error("lo reported schedulable at 104% utilization demand")
+		}
+		if r.Task == "hi" && !r.Schedulable {
+			t.Error("hi must be schedulable alone")
+		}
+	}
+	if ok, _ := Schedulable(tasks); ok {
+		t.Error("set reported schedulable")
+	}
+}
+
+func TestExplicitDeadline(t *testing.T) {
+	tasks := []Task{
+		{Name: "hi", WCET: 4, Period: 10, Priority: 1},
+		{Name: "lo", WCET: 3, Period: 20, Deadline: 6, Priority: 2},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lo's response is 7 > its 6-cycle constrained deadline.
+	for _, r := range res {
+		if r.Task == "lo" && r.Schedulable {
+			t.Errorf("lo schedulable with response %d and deadline 6", r.Response)
+		}
+	}
+}
+
+func TestPriorityTieBreaksByOrder(t *testing.T) {
+	tasks := []Task{
+		{Name: "first", WCET: 2, Period: 10, Priority: 1},
+		{Name: "second", WCET: 2, Period: 10, Priority: 1},
+	}
+	res, err := Analyze(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range res {
+		byName[r.Task] = r
+	}
+	if byName["first"].Response != 2 {
+		t.Errorf("first response = %d, want 2", byName["first"].Response)
+	}
+	if byName["second"].Response != 4 {
+		t.Errorf("second response = %d, want 4 (preempted by first)", byName["second"].Response)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := [][]Task{
+		{{Name: "", WCET: 1, Period: 2}},
+		{{Name: "x", WCET: 0, Period: 2}},
+		{{Name: "x", WCET: 1, Period: 0}},
+		{{Name: "x", WCET: 1, Period: 5, Deadline: -1}},
+		{{Name: "x", WCET: 5, Period: 10, Deadline: 3}},                    // WCET > deadline
+		{{Name: "x", WCET: 1, Period: 2}, {Name: "x", WCET: 1, Period: 2}}, // dup
+	}
+	for i, ts := range bad {
+		if _, err := Analyze(ts); err == nil {
+			t.Errorf("case %d: invalid task set accepted", i)
+		}
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := Utilization([]Task{
+		{Name: "a", WCET: 1, Period: 4},
+		{Name: "b", WCET: 1, Period: 2},
+	})
+	if math.Abs(u-0.75) > 1e-12 {
+		t.Errorf("utilization = %g, want 0.75", u)
+	}
+}
+
+// Property: the highest-priority task's response equals its WCET, and
+// every response is at least the task's own WCET.
+func TestResponseBoundsProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rnd := seed
+		next := func(mod uint32) int64 {
+			rnd = rnd*1664525 + 1013904223
+			return int64(rnd%mod) + 1
+		}
+		var tasks []Task
+		for i := 0; i < 4; i++ {
+			c := next(5)
+			tasks = append(tasks, Task{
+				Name:     string(rune('a' + i)),
+				WCET:     c,
+				Period:   c + next(40),
+				Priority: i,
+			})
+		}
+		res, err := Analyze(tasks)
+		if err != nil {
+			return true // some random sets are invalid (WCET > deadline); skip
+		}
+		for i, r := range res {
+			if r.Schedulable && r.Response < tasks[i].WCET {
+				return false
+			}
+		}
+		// Highest priority is tasks[0].
+		return res[0].Response == tasks[0].WCET
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adding a higher-priority task never decreases anyone's
+// response time (monotonicity of interference).
+func TestInterferenceMonotonicityProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		rnd := seed
+		next := func(mod uint32) int64 {
+			rnd = rnd*1664525 + 1013904223
+			return int64(rnd%mod) + 1
+		}
+		low := Task{Name: "low", WCET: next(10), Period: 1000, Priority: 10}
+		base := []Task{low}
+		extra := Task{Name: "mid", WCET: next(5), Period: 20 + next(50), Priority: 1}
+		resBase, err1 := Analyze(base)
+		resMore, err2 := Analyze([]Task{low, extra})
+		if err1 != nil || err2 != nil {
+			return true
+		}
+		var before, after int64
+		for _, r := range resBase {
+			if r.Task == "low" {
+				before = r.Response
+			}
+		}
+		for _, r := range resMore {
+			if r.Task == "low" {
+				after = r.Response
+			}
+		}
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/trace"
+	"repro/internal/tricore"
+)
+
+func TestEnforcementZeroQuotaSilencesContender(t *testing.T) {
+	lat := platform.TC27xLatencies()
+	task := Task{Kind: tricore.TC16P, Src: uncachedLMULoads(100, 0)}
+	iso, err := RunIsolation(lat, 1, task, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Src.Reset()
+	contender := Task{Kind: tricore.TC16P, Src: trace.NewRepeat(uncachedLMULoads(100, 0), 0)}
+	res, err := Run(lat, map[int]Task{1: task, 2: contender}, 1, Config{
+		StallBudgets: map[int]int64{2: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != iso.Cycles {
+		t.Errorf("zero-quota contender still interfered: %d vs isolation %d", res.Cycles, iso.Cycles)
+	}
+	if got := res.Readings[2].PS + res.Readings[2].DS; got != 0 {
+		t.Errorf("suspended contender accumulated %d stall cycles", got)
+	}
+}
+
+func TestEnforcementBoundsInterference(t *testing.T) {
+	lat := platform.TC27xLatencies()
+	for _, quota := range []int64{50, 200, 1000} {
+		task := Task{Kind: tricore.TC16P, Src: uncachedLMULoads(300, 0)}
+		iso, err := RunIsolation(lat, 1, task, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		task.Src.Reset()
+		contender := Task{Kind: tricore.TC16P, Src: trace.NewRepeat(uncachedLMULoads(100, 0), 0)}
+		res, err := Run(lat, map[int]Task{1: task, 2: contender}, 1, Config{
+			StallBudgets: map[int]int64{2: quota},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The contender's own stalls must not exceed quota by more than
+		// one transaction's worth.
+		contStalls := res.Readings[2].PS + res.Readings[2].DS
+		if contStalls > quota+43 {
+			t.Errorf("quota %d: contender stalls %d exceed quota + one transaction", quota, contStalls)
+		}
+		// The analysed task's slowdown must respect the analytic bound.
+		bound := core.EnforcedContentionBound(quota, &lat)
+		slowdown := res.Cycles - iso.Cycles
+		if slowdown > bound {
+			t.Errorf("quota %d: slowdown %d exceeds enforcement bound %d", quota, slowdown, bound)
+		}
+	}
+}
+
+func TestEnforcementDoesNotTouchAnalysedCore(t *testing.T) {
+	// A budget on the analysed core itself suspends it too — callers use
+	// this for criticality inversion scenarios, and Run must then hit the
+	// deadline error rather than hang.
+	lat := platform.TC27xLatencies()
+	task := Task{Kind: tricore.TC16P, Src: uncachedLMULoads(100, 0)}
+	_, err := Run(lat, map[int]Task{1: task}, 1, Config{
+		MaxCycles:    10000,
+		StallBudgets: map[int]int64{1: 0},
+	})
+	if err == nil {
+		t.Error("suspended analysed task still finished")
+	}
+}
+
+func TestEnforcedContentionBoundArithmetic(t *testing.T) {
+	lat := platform.TC27xLatencies()
+	if got := core.EnforcedContentionBound(0, &lat); got != 0 {
+		t.Errorf("zero quota bound = %d", got)
+	}
+	// cs_min = 6, l_max = 43: quota 60 -> (10+1)*43 = 473.
+	if got := core.EnforcedContentionBound(60, &lat); got != 473 {
+		t.Errorf("bound(60) = %d, want 473", got)
+	}
+	if got := core.EnforcedContentionBound(-5, &lat); got != 0 {
+		t.Errorf("negative quota bound = %d", got)
+	}
+}

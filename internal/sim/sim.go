@@ -1,0 +1,275 @@
+// Package sim is the multicore simulation harness: it instantiates the
+// simulated TC27x (three TriCore cores behind the SRI crossbar), runs task
+// sets on it, and returns what the paper's measurement protocol collects —
+// DSU counter readings and observed execution times — plus the ground-truth
+// per-target access counts (PTAC) and contention waits that only a
+// simulator can see and that the tests use to validate the models.
+//
+// The harness stands in for the paper's hardware testbed (a TC277
+// application kit driven through the debug interface). The substitution is
+// sound because the contention models consume nothing but the DSU readings
+// and the isolation execution time, both of which the harness produces
+// through the same mechanisms (per-slave round-robin arbitration, Table 2
+// latencies, cache filtering) that create them on silicon.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dsu"
+	"repro/internal/platform"
+	"repro/internal/sri"
+	"repro/internal/trace"
+	"repro/internal/tricore"
+)
+
+// NumCores is the number of cores on the TC277.
+const NumCores = 3
+
+// Task is one workload to place on a core.
+type Task struct {
+	// Kind is the core microarchitecture to run on. The TC277 pairing is
+	// core 0 = TC16E, cores 1 and 2 = TC16P; Run applies that pairing
+	// when Kind is left at its zero value on core 0 ... callers normally
+	// just set it explicitly.
+	Kind tricore.Kind
+	// Src is the task's access stream, executed once.
+	Src trace.Source
+}
+
+// Result collects everything observable from one run.
+type Result struct {
+	// Cycles is the cycle at which the run's stop condition was met (the
+	// analysed task finished).
+	Cycles int64
+	// Readings holds each active core's DSU snapshot at stop time.
+	Readings map[int]dsu.Readings
+	// Done reports which active cores had finished their trace at stop
+	// time.
+	Done map[int]bool
+	// PTAC is the simulator's ground truth: SRI transactions per core per
+	// (target, op). Unavailable on real hardware.
+	PTAC map[int]map[platform.TargetOp]int64
+	// WaitCycles is the exact arbitration wait each core suffered, per
+	// target: the true contention. Unavailable on real hardware.
+	WaitCycles map[int]map[platform.Target]int64
+}
+
+// TotalWait sums core's arbitration wait over all targets.
+func (r Result) TotalWait(core int) int64 {
+	var sum int64
+	for _, w := range r.WaitCycles[core] {
+		sum += w
+	}
+	return sum
+}
+
+// ErrDeadline is returned when a run exceeds its cycle budget.
+var ErrDeadline = errors.New("sim: cycle budget exhausted before the analysed task finished")
+
+// Config tunes a run.
+type Config struct {
+	// MaxCycles aborts runaway simulations; 0 means the default budget.
+	MaxCycles int64
+	// FlashPrefetch enables the SRI flash prefetch buffers: sequential
+	// next-line requests are served at the lmin latency of Table 2
+	// instead of lmax. Off by default, since the contention models
+	// assume worst-case service; the lmin calibration experiment turns
+	// it on.
+	FlashPrefetch bool
+	// StallBudgets, when non-nil, enables RTOS-level contention
+	// enforcement in the style of Nowotsch et al. (the paper's ref [16]):
+	// a core whose cumulative SRI stall cycles (PMEM_STALL + DMEM_STALL)
+	// reach its budget is suspended — it stops issuing new accesses but
+	// any in-flight transaction completes. Cores without an entry run
+	// unconstrained.
+	StallBudgets map[int]int64
+	// SRIPriorities assigns cores to SRI priority classes (higher wins
+	// arbitration; round-robin within a class). All cores default to the
+	// same class — the paper's system model, and the precondition for
+	// its contention models to be sound (see
+	// TestPriorityClassesVoidModelAssumption).
+	SRIPriorities map[int]int
+	// JitterSeed, when non-zero, enables deterministic service-time
+	// jitter on the SRI: granted service times vary in [lmin, lmax] per
+	// transaction. Mutually exclusive with FlashPrefetch.
+	JitterSeed uint64
+}
+
+const defaultMaxCycles = 2_000_000_000
+
+// Run simulates the task set until the analysed core finishes its trace.
+// tasks maps core index (0..2) to workload; cores without a task stay
+// silent. Contender tasks that finish early simply go quiet; contender
+// tasks meant to outlast the analysed one must be sized accordingly by the
+// caller (the workload generators do).
+func Run(lat platform.LatencyTable, tasks map[int]Task, analysed int, cfg Config) (Result, error) {
+	if _, ok := tasks[analysed]; !ok {
+		return Result{}, fmt.Errorf("sim: analysed core %d has no task", analysed)
+	}
+	if err := lat.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	x := sri.New(NumCores)
+	if cfg.FlashPrefetch {
+		x.EnableFlashPrefetch(32)
+	}
+	if cfg.JitterSeed != 0 {
+		x.EnableServiceJitter(cfg.JitterSeed)
+	}
+	for m, class := range cfg.SRIPriorities {
+		if m < 0 || m >= NumCores {
+			return Result{}, fmt.Errorf("sim: priority for core %d out of range", m)
+		}
+		x.SetMasterPriority(m, class)
+	}
+	cores := make(map[int]*tricore.Core, len(tasks))
+	for idx, t := range tasks {
+		if idx < 0 || idx >= NumCores {
+			return Result{}, fmt.Errorf("sim: core index %d out of range", idx)
+		}
+		c, err := tricore.New(tricore.Config{Index: idx, Kind: t.Kind}, &lat, x, t.Src)
+		if err != nil {
+			return Result{}, err
+		}
+		cores[idx] = c
+	}
+
+	budget := cfg.MaxCycles
+	if budget <= 0 {
+		budget = defaultMaxCycles
+	}
+
+	var now int64
+	for ; now < budget; now++ {
+		for idx, c := range cores {
+			if quota, ok := cfg.StallBudgets[idx]; ok && !x.Busy(idx) {
+				// Enforcement point: once the core's SRI stalls consumed
+				// its quota, it is suspended before it can issue again.
+				r := c.Counters()
+				if r.PS+r.DS >= quota {
+					continue
+				}
+			}
+			c.Tick(now)
+		}
+		for _, cmp := range x.Tick(now) {
+			core, ok := cores[cmp.Master]
+			if !ok {
+				return Result{}, fmt.Errorf("sim: completion for idle core %d", cmp.Master)
+			}
+			core.Complete(now, cmp)
+		}
+		if cores[analysed].Done() {
+			break
+		}
+	}
+	if !cores[analysed].Done() {
+		return Result{}, fmt.Errorf("%w (budget %d)", ErrDeadline, budget)
+	}
+
+	res := Result{
+		Cycles:     now,
+		Readings:   make(map[int]dsu.Readings, len(cores)),
+		Done:       make(map[int]bool, len(cores)),
+		PTAC:       make(map[int]map[platform.TargetOp]int64, len(cores)),
+		WaitCycles: make(map[int]map[platform.Target]int64, len(cores)),
+	}
+	for idx, c := range cores {
+		res.Readings[idx] = c.Counters()
+		res.Done[idx] = c.Done()
+		ptac := make(map[platform.TargetOp]int64)
+		for _, to := range platform.AccessPairs() {
+			if g := x.Grants(idx, to.Target, to.Op); g > 0 {
+				ptac[to] = g
+			}
+		}
+		res.PTAC[idx] = ptac
+		waits := make(map[platform.Target]int64)
+		for _, t := range platform.Targets {
+			if w := x.WaitCycles(idx, t); w > 0 {
+				waits[t] = w
+			}
+		}
+		res.WaitCycles[idx] = waits
+	}
+	return res, nil
+}
+
+// RunIsolation runs a single task alone on core coreIdx — the paper's
+// pre-integration measurement protocol — and returns its readings.
+func RunIsolation(lat platform.LatencyTable, coreIdx int, t Task, cfg Config) (Result, error) {
+	return Run(lat, map[int]Task{coreIdx: t}, coreIdx, cfg)
+}
+
+// RunIsolationWarm measures a task in isolation after one untimed warm-up
+// pass over its trace: the standard MBTA protocol when the steady-state
+// (warm-cache) behaviour is the quantity of interest rather than the
+// cold-start one. Counter readings and execution time cover only the
+// second, timed pass.
+//
+// Warm measurements are *smaller* in every counter than cold ones, so
+// bounds built from cold readings remain valid for warm runs — but not
+// vice versa; use warm readings only when the deployment guarantees warm
+// caches at activation.
+func RunIsolationWarm(lat platform.LatencyTable, coreIdx int, t Task, cfg Config) (Result, error) {
+	if err := lat.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+	x := sri.New(NumCores)
+	if cfg.FlashPrefetch {
+		x.EnableFlashPrefetch(32)
+	}
+	core, err := tricore.New(tricore.Config{Index: coreIdx, Kind: t.Kind}, &lat, x, t.Src)
+	if err != nil {
+		return Result{}, err
+	}
+	budget := cfg.MaxCycles
+	if budget <= 0 {
+		budget = defaultMaxCycles
+	}
+
+	runPass := func(start int64) (int64, error) {
+		for now := start; now < start+budget; now++ {
+			core.Tick(now)
+			for _, cmp := range x.Tick(now) {
+				core.Complete(now, cmp)
+			}
+			if core.Done() {
+				return now, nil
+			}
+		}
+		return 0, fmt.Errorf("%w (budget %d)", ErrDeadline, budget)
+	}
+
+	// Warm-up pass: executed, then discarded.
+	end, err := runPass(0)
+	if err != nil {
+		return Result{}, err
+	}
+	core.ResetCounters()
+	x.ResetStats()
+	t.Src.Reset()
+	core.Restart()
+
+	start := end + 1
+	end, err = runPass(start)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Cycles:     end - start,
+		Readings:   map[int]dsu.Readings{coreIdx: core.Counters()},
+		Done:       map[int]bool{coreIdx: true},
+		PTAC:       map[int]map[platform.TargetOp]int64{coreIdx: {}},
+		WaitCycles: map[int]map[platform.Target]int64{coreIdx: {}},
+	}
+	for _, to := range platform.AccessPairs() {
+		if g := x.Grants(coreIdx, to.Target, to.Op); g > 0 {
+			res.PTAC[coreIdx][to] = g
+		}
+	}
+	return res, nil
+}

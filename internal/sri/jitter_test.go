@@ -1,0 +1,89 @@
+package sri
+
+import (
+	"testing"
+)
+
+func TestJitterServiceWithinBounds(t *testing.T) {
+	x := New(1)
+	x.EnableServiceJitter(42)
+	seen := map[int64]bool{}
+	for i := 0; i < 200; i++ {
+		x.Issue(int64(i*100), pfReq(0, uint32(i)*64))
+		var done []Completion
+		for now := int64(i * 100); len(done) == 0; now++ {
+			done = append(done, x.Tick(now)...)
+		}
+		e2e := done[0].EndToEnd
+		if e2e < 12 || e2e > 16 {
+			t.Fatalf("jittered service %d outside [12, 16]", e2e)
+		}
+		seen[e2e] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("jitter produced only %d distinct service times", len(seen))
+	}
+}
+
+func TestJitterDeterministicPerSeed(t *testing.T) {
+	runOnce := func(seed uint64) []int64 {
+		x := New(1)
+		x.EnableServiceJitter(seed)
+		var out []int64
+		for i := 0; i < 50; i++ {
+			x.Issue(int64(i*100), pfReq(0, uint32(i)*64))
+			var done []Completion
+			for now := int64(i * 100); len(done) == 0; now++ {
+				done = append(done, x.Tick(now)...)
+			}
+			out = append(out, done[0].EndToEnd)
+		}
+		return out
+	}
+	a, b := runOnce(7), runOnce(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := runOnce(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestJitterNotAppliedWithoutMinService(t *testing.T) {
+	x := New(1)
+	x.EnableServiceJitter(3)
+	x.Issue(0, lmuData(0)) // MinService zero: fixed 11-cycle service
+	done, _ := run(x, 0)
+	if done[0].EndToEnd != 11 {
+		t.Errorf("lmu service jittered to %d", done[0].EndToEnd)
+	}
+}
+
+func TestJitterPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"zero seed": func() { New(1).EnableServiceJitter(0) },
+		"with prefetch": func() {
+			x := New(1)
+			x.EnableFlashPrefetch(32)
+			x.EnableServiceJitter(1)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,114 @@
+package sri
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// pfReq builds a pf0 code request with the prefetch discount available.
+func pfReq(m int, addr uint32) Request {
+	return Request{
+		Master: m, Target: platform.PF0, Op: platform.Code,
+		Service: 16, MinService: 12, Addr: addr,
+	}
+}
+
+func TestPrefetchSequentialHit(t *testing.T) {
+	x := New(2)
+	x.EnableFlashPrefetch(32)
+	x.Issue(0, pfReq(0, 0x000))
+	done, _ := run(x, 0)
+	if done[0].EndToEnd != 16 {
+		t.Fatalf("first access e2e = %d, want 16 (cold buffer)", done[0].EndToEnd)
+	}
+	x.Issue(100, pfReq(0, 0x020)) // sequential next line
+	done2 := []Completion{}
+	for now := int64(100); len(done2) == 0; now++ {
+		done2 = append(done2, x.Tick(now)...)
+	}
+	if done2[0].EndToEnd != 12 {
+		t.Errorf("sequential access e2e = %d, want 12 (prefetch hit)", done2[0].EndToEnd)
+	}
+	if x.PrefetchHits(platform.PF0) != 1 {
+		t.Errorf("prefetch hits = %d, want 1", x.PrefetchHits(platform.PF0))
+	}
+}
+
+func TestPrefetchMissOnNonSequential(t *testing.T) {
+	x := New(2)
+	x.EnableFlashPrefetch(32)
+	x.Issue(0, pfReq(0, 0x000))
+	run(x, 0)
+	x.Issue(100, pfReq(0, 0x100)) // jump: not last+32
+	var done []Completion
+	for now := int64(100); len(done) == 0; now++ {
+		done = append(done, x.Tick(now)...)
+	}
+	if done[0].EndToEnd != 16 {
+		t.Errorf("non-sequential access e2e = %d, want 16", done[0].EndToEnd)
+	}
+	if x.PrefetchHits(platform.PF0) != 0 {
+		t.Errorf("prefetch hits = %d, want 0", x.PrefetchHits(platform.PF0))
+	}
+}
+
+func TestPrefetchBrokenByOtherMaster(t *testing.T) {
+	// Master 1 interposes on the same slave: master 0's stream is broken.
+	x := New(2)
+	x.EnableFlashPrefetch(32)
+	x.Issue(0, pfReq(0, 0x000))
+	run(x, 0)
+	x.Issue(100, pfReq(1, 0x400))
+	run(x, 100)
+	x.Issue(200, pfReq(0, 0x020)) // would have been sequential for master 0
+	var done []Completion
+	for now := int64(200); len(done) == 0; now++ {
+		done = append(done, x.Tick(now)...)
+	}
+	if done[0].EndToEnd != 16 {
+		t.Errorf("stream broken by other master: e2e = %d, want 16", done[0].EndToEnd)
+	}
+}
+
+func TestPrefetchDisabledByDefault(t *testing.T) {
+	x := New(2)
+	x.Issue(0, pfReq(0, 0x000))
+	run(x, 0)
+	x.Issue(100, pfReq(0, 0x020))
+	var done []Completion
+	for now := int64(100); len(done) == 0; now++ {
+		done = append(done, x.Tick(now)...)
+	}
+	if done[0].EndToEnd != 16 {
+		t.Errorf("prefetch applied while disabled: e2e = %d", done[0].EndToEnd)
+	}
+}
+
+func TestPrefetchRequiresMinService(t *testing.T) {
+	x := New(2)
+	x.EnableFlashPrefetch(32)
+	r := pfReq(0, 0x000)
+	r.MinService = 0 // e.g. a dirty-miss override transaction
+	x.Issue(0, r)
+	run(x, 0)
+	r2 := pfReq(0, 0x020)
+	r2.MinService = 0
+	x.Issue(100, r2)
+	var done []Completion
+	for now := int64(100); len(done) == 0; now++ {
+		done = append(done, x.Tick(now)...)
+	}
+	if done[0].EndToEnd != 16 {
+		t.Errorf("discount applied without MinService: e2e = %d", done[0].EndToEnd)
+	}
+}
+
+func TestEnableFlashPrefetchPanicsOnZeroLine(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero line size accepted")
+		}
+	}()
+	New(1).EnableFlashPrefetch(0)
+}

@@ -1,0 +1,94 @@
+package sri
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func lmuData(m int) Request {
+	return Request{Master: m, Target: platform.LMU, Op: platform.Data, Service: 11}
+}
+
+func TestHigherClassWinsArbitration(t *testing.T) {
+	x := New(2)
+	x.SetMasterPriority(1, 1) // master 1 above master 0
+	// Both pending at the same cycle; round-robin alone would pick
+	// master 0 (rrNext starts there), priority must override.
+	x.Issue(0, lmuData(0))
+	x.Issue(0, lmuData(1))
+	done, _ := run(x, 0)
+	waits := map[int]int64{}
+	for _, c := range done {
+		waits[c.Master] = c.Waited
+	}
+	if waits[1] != 0 {
+		t.Errorf("high-priority master waited %d", waits[1])
+	}
+	if waits[0] != 11 {
+		t.Errorf("low-priority master waited %d, want 11", waits[0])
+	}
+}
+
+func TestSameClassKeepsRoundRobin(t *testing.T) {
+	x := New(2)
+	x.SetMasterPriority(0, 3)
+	x.SetMasterPriority(1, 3) // same class: round-robin as before
+	x.Issue(0, lmuData(0))
+	x.Issue(0, lmuData(1))
+	done, _ := run(x, 0)
+	waits := map[int]int64{}
+	for _, c := range done {
+		waits[c.Master] = c.Waited
+	}
+	// rrNext starts at 0: master 0 first.
+	if waits[0] != 0 || waits[1] != 11 {
+		t.Errorf("same-class waits = %v, want 0/11", waits)
+	}
+}
+
+func TestLowClassStarvesUnderSaturation(t *testing.T) {
+	// The phenomenon the paper's same-class assumption excludes: two
+	// high-priority masters ping-pong on the slave, each pending again by
+	// the time the other completes, so a low-priority request waits
+	// behind an entire stream of higher-class transactions. Under
+	// round-robin (all same class) the low master would wait at most two
+	// services.
+	x := New(3)
+	x.SetMasterPriority(1, 1)
+	x.SetMasterPriority(2, 1)
+	x.Issue(0, lmuData(0))
+	x.Issue(0, lmuData(1))
+	x.Issue(0, lmuData(2))
+	served := 0
+	var lowWait int64 = -1
+	now := int64(0)
+	for lowWait < 0 && now < 10_000 {
+		for _, c := range x.Tick(now) {
+			switch c.Master {
+			case 1, 2:
+				served++
+				if served < 8 {
+					x.Issue(now, lmuData(c.Master)) // keep the class saturated
+				}
+			case 0:
+				lowWait = c.Waited
+			}
+		}
+		now++
+	}
+	// Round-robin would bound the wait at 2*11 = 22; the class stream
+	// pushes it past 8 services.
+	if lowWait < 8*11 {
+		t.Errorf("low-priority wait = %d, want >= 88 (starved behind the high class)", lowWait)
+	}
+}
+
+func TestSetMasterPriorityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad master accepted")
+		}
+	}()
+	New(2).SetMasterPriority(5, 1)
+}

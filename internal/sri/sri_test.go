@@ -1,0 +1,290 @@
+package sri
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/platform"
+)
+
+func req(m int, t platform.Target, o platform.Op, svc int64) Request {
+	return Request{Master: m, Target: t, Op: o, Service: svc}
+}
+
+// run ticks the crossbar from cycle start until idle, returning all
+// completions and the final cycle.
+func run(x *Interconnect, start int64) ([]Completion, int64) {
+	var all []Completion
+	now := start
+	for i := 0; i < 10000; i++ {
+		all = append(all, x.Tick(now)...)
+		if x.Idle() {
+			return all, now
+		}
+		now++
+	}
+	panic("sri test: crossbar did not quiesce")
+}
+
+func TestSingleTransactionLatency(t *testing.T) {
+	x := New(2)
+	x.Issue(0, req(0, platform.LMU, platform.Data, 11))
+	done, _ := run(x, 0)
+	if len(done) != 1 {
+		t.Fatalf("%d completions, want 1", len(done))
+	}
+	c := done[0]
+	if c.Waited != 0 {
+		t.Errorf("isolated request waited %d cycles", c.Waited)
+	}
+	if c.EndToEnd != 11 {
+		t.Errorf("end-to-end = %d, want 11 (the service time)", c.EndToEnd)
+	}
+	if c.Master != 0 || c.Target != platform.LMU || c.Op != platform.Data {
+		t.Errorf("completion misattributed: %+v", c)
+	}
+}
+
+func TestSameTargetSerializes(t *testing.T) {
+	x := New(2)
+	x.Issue(0, req(0, platform.PF0, platform.Code, 16))
+	x.Issue(0, req(1, platform.PF0, platform.Code, 16))
+	done, _ := run(x, 0)
+	if len(done) != 2 {
+		t.Fatalf("%d completions, want 2", len(done))
+	}
+	// One of them must wait exactly the other's service time.
+	w0, w1 := done[0].Waited, done[1].Waited
+	if w0 > w1 {
+		w0, w1 = w1, w0
+	}
+	if w0 != 0 || w1 != 16 {
+		t.Errorf("waits = %d, %d; want 0 and 16", w0, w1)
+	}
+}
+
+func TestDistinctTargetsParallel(t *testing.T) {
+	x := New(2)
+	x.Issue(0, req(0, platform.PF0, platform.Code, 16))
+	x.Issue(0, req(1, platform.LMU, platform.Data, 11))
+	done, end := run(x, 0)
+	if len(done) != 2 {
+		t.Fatalf("%d completions, want 2", len(done))
+	}
+	for _, c := range done {
+		if c.Waited != 0 {
+			t.Errorf("master %d waited %d on a distinct target", c.Master, c.Waited)
+		}
+	}
+	if end != 16 {
+		t.Errorf("both done at cycle %d, want 16 (max of the two, in parallel)", end)
+	}
+}
+
+func TestRoundRobinAlternates(t *testing.T) {
+	// Two masters hammer the same target; grants must alternate so
+	// neither starves and each waits at most one service time per grant.
+	x := New(2)
+	const svc = 10
+	issued := [2]int{}
+	grantsOrder := []int{}
+	now := int64(0)
+	// Keep both masters always pending.
+	for m := 0; m < 2; m++ {
+		x.Issue(now, req(m, platform.LMU, platform.Data, svc))
+		issued[m]++
+	}
+	for len(grantsOrder) < 8 {
+		for _, c := range x.Tick(now) {
+			grantsOrder = append(grantsOrder, c.Master)
+			if issued[c.Master] < 5 {
+				x.Issue(now, req(c.Master, platform.LMU, platform.Data, svc))
+				issued[c.Master]++
+			}
+		}
+		now++
+	}
+	for i := 1; i < len(grantsOrder); i++ {
+		if grantsOrder[i] == grantsOrder[i-1] {
+			t.Fatalf("round-robin violated: grant order %v", grantsOrder)
+		}
+	}
+}
+
+func TestRoundRobinPointerAdvancesPastGranted(t *testing.T) {
+	// Three masters pending on the same slave: service order must be
+	// cyclic starting from rrNext.
+	x := New(3)
+	for m := 0; m < 3; m++ {
+		x.Issue(0, req(m, platform.DFL, platform.Data, 43))
+	}
+	done, _ := run(x, 0)
+	if len(done) != 3 {
+		t.Fatalf("%d completions", len(done))
+	}
+	waits := map[int]int64{}
+	for _, c := range done {
+		waits[c.Master] = c.Waited
+	}
+	// rrNext starts at 0: master 0 waits 0, master 1 waits 43, master 2
+	// waits 86.
+	if waits[0] != 0 || waits[1] != 43 || waits[2] != 86 {
+		t.Errorf("waits = %v, want 0/43/86", waits)
+	}
+}
+
+func TestMaxDelayBoundedByContenders(t *testing.T) {
+	// Property at the heart of the contention model: with round-robin
+	// arbitration a request waits at most (numMasters-1) service times
+	// of the slowest co-pending requests.
+	f := func(seed uint32) bool {
+		x := New(3)
+		svc := []int64{11, 16, 43}
+		x.Issue(0, req(0, platform.LMU, platform.Data, svc[seed%3]))
+		x.Issue(0, req(1, platform.LMU, platform.Data, svc[(seed/3)%3]))
+		x.Issue(0, req(2, platform.LMU, platform.Data, svc[(seed/9)%3]))
+		done, _ := run(x, 0)
+		var maxSvc int64
+		for _, s := range svc {
+			if s > maxSvc {
+				maxSvc = s
+			}
+		}
+		for _, c := range done {
+			if c.Waited > 2*maxSvc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrantsAndWaitStats(t *testing.T) {
+	x := New(2)
+	x.Issue(0, req(0, platform.PF1, platform.Code, 16))
+	x.Issue(0, req(1, platform.PF1, platform.Data, 16))
+	run(x, 0)
+	if g := x.Grants(0, platform.PF1, platform.Code); g != 1 {
+		t.Errorf("grants(0, pf1, co) = %d", g)
+	}
+	if g := x.Grants(1, platform.PF1, platform.Data); g != 1 {
+		t.Errorf("grants(1, pf1, da) = %d", g)
+	}
+	total := x.WaitCycles(0, platform.PF1) + x.WaitCycles(1, platform.PF1)
+	if total != 16 {
+		t.Errorf("combined wait = %d, want 16", total)
+	}
+	if x.TotalWaitCycles(0)+x.TotalWaitCycles(1) != 16 {
+		t.Errorf("TotalWaitCycles mismatch")
+	}
+	x.ResetStats()
+	if x.Grants(0, platform.PF1, platform.Code) != 0 || x.TotalWaitCycles(1) != 0 {
+		t.Error("ResetStats did not zero statistics")
+	}
+}
+
+func TestBusyTracking(t *testing.T) {
+	x := New(1)
+	if x.Busy(0) {
+		t.Error("fresh master busy")
+	}
+	x.Issue(0, req(0, platform.LMU, platform.Code, 11))
+	if !x.Busy(0) {
+		t.Error("master not busy after issue")
+	}
+	run(x, 0)
+	if x.Busy(0) {
+		t.Error("master busy after completion")
+	}
+}
+
+func TestIssuePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		do   func(x *Interconnect)
+	}{
+		{"bad master", func(x *Interconnect) { x.Issue(0, req(5, platform.LMU, platform.Data, 1)) }},
+		{"illegal path", func(x *Interconnect) { x.Issue(0, req(0, platform.DFL, platform.Code, 1)) }},
+		{"zero service", func(x *Interconnect) { x.Issue(0, req(0, platform.LMU, platform.Data, 0)) }},
+		{"double issue", func(x *Interconnect) {
+			x.Issue(0, req(0, platform.LMU, platform.Data, 5))
+			x.Issue(0, req(0, platform.PF0, platform.Code, 5))
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", c.name)
+				}
+			}()
+			c.do(New(2))
+		})
+	}
+}
+
+func TestNewPanicsOnZeroMasters(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: total wait suffered by a master on a slave equals the sum of
+// service times of transactions granted between its issue and its grant —
+// i.e. conservation: sum of end-to-end = sum of service + sum of waits.
+func TestLatencyConservationProperty(t *testing.T) {
+	f := func(pattern []uint8) bool {
+		x := New(3)
+		svcOf := func(b uint8) (platform.Target, platform.Op, int64) {
+			switch b % 4 {
+			case 0:
+				return platform.LMU, platform.Data, 11
+			case 1:
+				return platform.PF0, platform.Code, 16
+			case 2:
+				return platform.PF1, platform.Data, 16
+			default:
+				return platform.DFL, platform.Data, 43
+			}
+		}
+		var queue [3][]uint8
+		for i, b := range pattern {
+			queue[i%3] = append(queue[i%3], b)
+		}
+		var sumE2E, sumSvc, sumWait int64
+		now := int64(0)
+		issue := func(m int) {
+			if len(queue[m]) == 0 || x.Busy(m) {
+				return
+			}
+			tgt, op, svc := svcOf(queue[m][0])
+			queue[m] = queue[m][1:]
+			x.Issue(now, Request{Master: m, Target: tgt, Op: op, Service: svc})
+			sumSvc += svc
+		}
+		for m := 0; m < 3; m++ {
+			issue(m)
+		}
+		for i := 0; i < 100000; i++ {
+			for _, c := range x.Tick(now) {
+				sumE2E += c.EndToEnd
+				sumWait += c.Waited
+				issue(c.Master)
+			}
+			if x.Idle() && len(queue[0])+len(queue[1])+len(queue[2]) == 0 {
+				break
+			}
+			now++
+		}
+		return sumE2E == sumSvc+sumWait
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The trace text format is one access per line:
+//
+//	<gap> <kind> <addr>
+//
+// with gap a non-negative decimal cycle count, kind one of fetch/load/
+// store, and addr a hexadecimal address with 0x prefix. Lines starting
+// with '#' and blank lines are ignored. The format exists so traces can be
+// captured from one tool run (aurixsim -record) and replayed in another,
+// and so external trace generators can feed the simulator.
+
+// Encode writes every access of src to w in the text format, resetting the
+// source before and after.
+func Encode(w io.Writer, src Source) error {
+	src.Reset()
+	defer src.Reset()
+	bw := bufio.NewWriter(w)
+	for {
+		a, ok := src.Next()
+		if !ok {
+			break
+		}
+		kind, err := kindName(a.Kind)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s 0x%08x\n", a.Gap, kind, a.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func kindName(k Kind) (string, error) {
+	switch k {
+	case Fetch:
+		return "fetch", nil
+	case Load:
+		return "load", nil
+	case Store:
+		return "store", nil
+	default:
+		return "", fmt.Errorf("trace: cannot encode kind %d", int(k))
+	}
+}
+
+// Decode parses a text-format trace into an in-memory Source.
+func Decode(r io.Reader) (*Slice, error) {
+	var accs []Access
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("trace: line %d: want `gap kind addr`, got %q", lineNo, line)
+		}
+		gap, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || gap < 0 {
+			return nil, fmt.Errorf("trace: line %d: bad gap %q", lineNo, fields[0])
+		}
+		var kind Kind
+		switch fields[1] {
+		case "fetch":
+			kind = Fetch
+		case "load":
+			kind = Load
+		case "store":
+			kind = Store
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown kind %q", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[2])
+		}
+		accs = append(accs, Access{Gap: gap, Kind: kind, Addr: uint32(addr)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading: %w", err)
+	}
+	return NewSlice(accs), nil
+}

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	src := NewSlice([]Access{
+		{Gap: 0, Kind: Fetch, Addr: 0x80000000},
+		{Gap: 12, Kind: Load, Addr: 0xB0000010},
+		{Gap: 3, Kind: Store, Addr: 0xAF000000},
+	})
+	var buf bytes.Buffer
+	if err := Encode(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := Collect(dec), Collect(src)
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d accesses, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("access %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEncodeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, NewSlice([]Access{{Gap: 5, Kind: Load, Addr: 0x9000_0040}})); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "5 load 0x90000040\n"; got != want {
+		t.Errorf("encoded %q, want %q", got, want)
+	}
+}
+
+func TestDecodeSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header comment\n\n 3 fetch 0x80000000 \n# trailing\n"
+	dec, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accs := Collect(dec)
+	if len(accs) != 1 || accs[0] != (Access{Gap: 3, Kind: Fetch, Addr: 0x80000000}) {
+		t.Errorf("decoded %+v", accs)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "3 fetch\n",
+		"bad gap":        "x fetch 0x0\n",
+		"negative gap":   "-1 fetch 0x0\n",
+		"bad kind":       "0 jump 0x0\n",
+		"bad addr":       "0 fetch zz\n",
+		"addr overflow":  "0 fetch 0x1ffffffff\n",
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestEncodeRejectsBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, NewSlice([]Access{{Kind: Kind(9)}})); err == nil {
+		t.Error("bad kind encoded")
+	}
+}
+
+// Property: Decode(Encode(x)) == x for arbitrary access streams.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []uint32, gaps []uint8) bool {
+		accs := make([]Access, len(raw))
+		for i, v := range raw {
+			g := int64(0)
+			if i < len(gaps) {
+				g = int64(gaps[i])
+			}
+			accs[i] = Access{Gap: g, Kind: Kind(int(v) % 3), Addr: v}
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, NewSlice(accs)); err != nil {
+			return false
+		}
+		dec, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		got := Collect(dec)
+		if len(got) != len(accs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != accs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,42 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks the decoder is total: arbitrary input either parses or
+// returns an error, never panics, and whatever parses re-encodes and
+// re-parses to the same stream.
+func FuzzDecode(f *testing.F) {
+	f.Add("0 fetch 0x80000000\n")
+	f.Add("12 load 0xB0000010\n3 store 0xAF000000\n")
+	f.Add("# comment\n\n")
+	f.Add("garbage")
+	f.Add("0 fetch 0x80000000 extra\n")
+	f.Add("-3 load 0x0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		src, err := Decode(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, src); err != nil {
+			t.Fatalf("decoded trace failed to encode: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		a, b := Collect(src), Collect(again)
+		if len(a) != len(b) {
+			t.Fatalf("round trip changed length: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("round trip changed access %d: %+v vs %+v", i, a[i], b[i])
+			}
+		}
+	})
+}

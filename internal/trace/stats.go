@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/platform"
+)
+
+// Stats summarises a trace: how many accesses of each kind it contains and
+// how its SRI-visible addresses distribute over targets. Scratchpad
+// accesses never reach the SRI and are tallied separately.
+type Stats struct {
+	Fetches, Loads, Stores int64
+	// GapCycles is the total core-internal compute time in the trace.
+	GapCycles int64
+	// Scratchpad counts accesses that resolve to core-local memories.
+	Scratchpad int64
+	// SRI counts accesses whose address decodes to an SRI target, indexed
+	// by (target, op). Note these are *address-level* counts: with caches
+	// enabled the number of SRI transactions the core actually issues is
+	// lower (misses only).
+	SRI map[platform.TargetOp]int64
+	// Invalid counts accesses to unmapped addresses.
+	Invalid int64
+}
+
+// Analyze computes Stats for a source, resetting it before and after.
+func Analyze(src Source) Stats {
+	src.Reset()
+	defer src.Reset()
+	st := Stats{SRI: make(map[platform.TargetOp]int64)}
+	for {
+		a, ok := src.Next()
+		if !ok {
+			return st
+		}
+		st.GapCycles += a.Gap
+		switch a.Kind {
+		case Fetch:
+			st.Fetches++
+		case Load:
+			st.Loads++
+		case Store:
+			st.Stores++
+		}
+		r := platform.Decode(a.Addr)
+		switch r.Kind {
+		case platform.RegionPSPR, platform.RegionDSPR:
+			st.Scratchpad++
+		case platform.RegionSRI:
+			op := platform.Code
+			if a.IsData() {
+				op = platform.Data
+			}
+			st.SRI[platform.TargetOp{Target: r.Target, Op: op}]++
+		default:
+			st.Invalid++
+		}
+	}
+}
+
+// Total returns the total number of accesses.
+func (s Stats) Total() int64 { return s.Fetches + s.Loads + s.Stores }
+
+// String renders the stats in a stable, human-readable layout.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accesses=%d (fetch=%d load=%d store=%d) gap=%d scratchpad=%d invalid=%d",
+		s.Total(), s.Fetches, s.Loads, s.Stores, s.GapCycles, s.Scratchpad, s.Invalid)
+	keys := make([]platform.TargetOp, 0, len(s.SRI))
+	for k := range s.SRI {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Target != keys[j].Target {
+			return keys[i].Target < keys[j].Target
+		}
+		return keys[i].Op < keys[j].Op
+	})
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%d", k, s.SRI[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,289 @@
+package tricore
+
+import (
+	"testing"
+
+	"repro/internal/dsu"
+	"repro/internal/platform"
+	"repro/internal/sri"
+	"repro/internal/trace"
+)
+
+// runAlone executes src on a single core of the given kind and returns the
+// core after completion.
+func runAlone(t *testing.T, kind Kind, src trace.Source) *Core {
+	t.Helper()
+	lat := platform.TC27xLatencies()
+	x := sri.New(3)
+	c := MustNew(Config{Index: 1, Kind: kind}, &lat, x, src)
+	for now := int64(0); now < 1_000_000; now++ {
+		c.Tick(now)
+		for _, cmp := range x.Tick(now) {
+			c.Complete(now, cmp)
+		}
+		if c.Done() {
+			return c
+		}
+	}
+	t.Fatal("core did not finish")
+	return nil
+}
+
+func TestKindString(t *testing.T) {
+	if TC16P.String() != "TC1.6P" || TC16E.String() != "TC1.6E" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(5).String() != "Kind(5)" {
+		t.Error("invalid kind string")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	lat := platform.TC27xLatencies()
+	x := sri.New(2)
+	if _, err := New(Config{Index: 5}, &lat, x, trace.NewSlice(nil)); err == nil {
+		t.Error("index beyond crossbar accepted")
+	}
+	if _, err := New(Config{Index: 0, Kind: Kind(9)}, &lat, x, trace.NewSlice(nil)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	var bad platform.LatencyTable
+	if _, err := New(Config{Index: 0}, &bad, x, trace.NewSlice(nil)); err == nil {
+		t.Error("invalid latency table accepted")
+	}
+}
+
+func TestScratchpadAccessesStayLocal(t *testing.T) {
+	src := trace.NewSlice([]trace.Access{
+		{Kind: trace.Fetch, Addr: platform.PSPRAddr(1, 0)},
+		{Kind: trace.Load, Addr: platform.DSPRAddr(1, 0x10)},
+		{Kind: trace.Store, Addr: platform.DSPRAddr(1, 0x20)},
+	})
+	c := runAlone(t, TC16P, src)
+	r := c.Counters()
+	if r.CCNT != 3 {
+		t.Errorf("CCNT = %d, want 3 (one cycle per scratchpad access)", r.CCNT)
+	}
+	if r.PS != 0 || r.DS != 0 || r.PM != 0 || r.DMC != 0 || r.DMD != 0 {
+		t.Errorf("scratchpad run touched SRI counters: %v", r)
+	}
+}
+
+func TestGapCyclesCount(t *testing.T) {
+	src := trace.NewSlice([]trace.Access{
+		{Gap: 5, Kind: trace.Load, Addr: platform.DSPRAddr(1, 0)},
+		{Gap: 3, Kind: trace.Load, Addr: platform.DSPRAddr(1, 4)},
+	})
+	c := runAlone(t, TC16P, src)
+	if r := c.Counters(); r.CCNT != 5+1+3+1 {
+		t.Errorf("CCNT = %d, want 10", r.CCNT)
+	}
+}
+
+func TestUncachedLMULoadStallMatchesTable2(t *testing.T) {
+	src := trace.NewSlice([]trace.Access{
+		{Kind: trace.Load, Addr: platform.Uncached(platform.LMUBase)},
+	})
+	c := runAlone(t, TC16P, src)
+	r := c.Counters()
+	// Table 2: cs^{lmu,da} = 10 per access.
+	if r.DS != 10 {
+		t.Errorf("DS = %d, want 10", r.DS)
+	}
+	if r.PS != 0 {
+		t.Errorf("PS = %d for a data access", r.PS)
+	}
+	// One dispatch cycle + 11 cycles blocked on the 11-cycle transaction.
+	if r.CCNT != 12 {
+		t.Errorf("CCNT = %d, want 12", r.CCNT)
+	}
+}
+
+func TestPerTargetStallCalibration(t *testing.T) {
+	// One isolated access per (target, op) path must charge exactly the
+	// Table 2 minimum stall to the right counter.
+	lat := platform.TC27xLatencies()
+	cases := []struct {
+		name  string
+		acc   trace.Access
+		stall int64
+		data  bool
+	}{
+		{"pf0 code", trace.Access{Kind: trace.Fetch, Addr: platform.Uncached(platform.PFlash0Base)}, 6, false},
+		{"pf1 code", trace.Access{Kind: trace.Fetch, Addr: platform.Uncached(platform.PFlash1Base)}, 6, false},
+		{"lmu code", trace.Access{Kind: trace.Fetch, Addr: platform.Uncached(platform.LMUBase)}, 11, false},
+		{"pf0 data", trace.Access{Kind: trace.Load, Addr: platform.Cached(platform.PFlash0Base)}, 11, true},
+		{"pf1 data", trace.Access{Kind: trace.Load, Addr: platform.Cached(platform.PFlash1Base)}, 11, true},
+		{"lmu data", trace.Access{Kind: trace.Store, Addr: platform.Uncached(platform.LMUBase)}, 10, true},
+		{"dfl data", trace.Access{Kind: trace.Load, Addr: platform.DFlashBase}, 42, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := runAlone(t, TC16P, trace.NewSlice([]trace.Access{tc.acc}))
+			r := c.Counters()
+			got, other := r.PS, r.DS
+			if tc.data {
+				got, other = r.DS, r.PS
+			}
+			if got != tc.stall {
+				t.Errorf("stall = %d, want %d", got, tc.stall)
+			}
+			if other != 0 {
+				t.Errorf("other-class stall counter = %d, want 0", other)
+			}
+			reg := platform.Decode(tc.acc.Addr)
+			op := platform.Code
+			if tc.acc.IsData() {
+				op = platform.Data
+			}
+			wantCCNT := 1 + lat.MaxLatency(reg.Target, op)
+			if r.CCNT != wantCCNT {
+				t.Errorf("CCNT = %d, want %d", r.CCNT, wantCCNT)
+			}
+		})
+	}
+}
+
+func TestICacheFiltersFetches(t *testing.T) {
+	a := platform.PFlash0Base // cacheable code
+	src := trace.NewSlice([]trace.Access{
+		{Kind: trace.Fetch, Addr: a},
+		{Kind: trace.Fetch, Addr: a + 4},  // same line: hit
+		{Kind: trace.Fetch, Addr: a + 28}, // same line: hit
+		{Kind: trace.Fetch, Addr: a + 32}, // next line: miss
+	})
+	c := runAlone(t, TC16P, src)
+	r := c.Counters()
+	if r.PM != 2 {
+		t.Errorf("PM = %d, want 2 (two line fills)", r.PM)
+	}
+	if r.PS != 2*6 {
+		t.Errorf("PS = %d, want 12 (two misses at cs=6)", r.PS)
+	}
+	hits, mc, _ := c.ICacheStats()
+	if hits != 2 || mc != 2 {
+		t.Errorf("icache stats = %d hits / %d misses, want 2/2", hits, mc)
+	}
+}
+
+func TestDCacheCleanMiss(t *testing.T) {
+	a := platform.LMUBase // cacheable data
+	src := trace.NewSlice([]trace.Access{
+		{Kind: trace.Load, Addr: a},
+		{Kind: trace.Load, Addr: a + 4}, // hit
+	})
+	c := runAlone(t, TC16P, src)
+	r := c.Counters()
+	if r.DMC != 1 || r.DMD != 0 {
+		t.Errorf("DMC/DMD = %d/%d, want 1/0", r.DMC, r.DMD)
+	}
+	if r.DS != 10 {
+		t.Errorf("DS = %d, want 10 (one lmu refill)", r.DS)
+	}
+}
+
+func TestDirtyMissLMUFoldsIntoOneTransaction(t *testing.T) {
+	// Three cacheable LMU lines mapping to the same D-cache set (128
+	// sets x 32B lines: stride 4096). The first is dirtied by a store;
+	// filling the third evicts it.
+	base := platform.LMUBase
+	src := trace.NewSlice([]trace.Access{
+		{Kind: trace.Store, Addr: base},       // miss clean, allocate dirty
+		{Kind: trace.Load, Addr: base + 4096}, // miss clean, second way
+		{Kind: trace.Load, Addr: base + 8192}, // evicts dirty line
+	})
+	c := runAlone(t, TC16P, src)
+	r := c.Counters()
+	if r.DMC != 2 || r.DMD != 1 {
+		t.Errorf("DMC/DMD = %d/%d, want 2/1", r.DMC, r.DMD)
+	}
+	// Stalls: two clean refills at 10 each, plus the folded dirty miss:
+	// 21-cycle transaction with 1 hidden cycle = 20.
+	if r.DS != 10+10+20 {
+		t.Errorf("DS = %d, want 40", r.DS)
+	}
+}
+
+func TestDirtyMissCrossTargetIsTwoTransactions(t *testing.T) {
+	// Dirty LMU victim evicted by a pf0 refill: write-back to lmu (cs 10)
+	// then refill from pf0 (cs 11).
+	src := trace.NewSlice([]trace.Access{
+		{Kind: trace.Store, Addr: platform.LMUBase},                            // set 0, dirty
+		{Kind: trace.Load, Addr: platform.Cached(platform.PFlash0Base)},        // set 0, way 2
+		{Kind: trace.Load, Addr: platform.Cached(platform.PFlash0Base) + 4096}, // set 0, evicts lmu line
+	})
+	c := runAlone(t, TC16P, src)
+	r := c.Counters()
+	if r.DMD != 1 {
+		t.Errorf("DMD = %d, want 1", r.DMD)
+	}
+	// DS = store lmu refill 10 + pf0 refill 11 + (write-back 10 + refill 11).
+	if r.DS != 10+11+10+11 {
+		t.Errorf("DS = %d, want 42", r.DS)
+	}
+}
+
+func TestE16StoresBypassDRB(t *testing.T) {
+	// Every cacheable store on the 1.6E is written through: two stores to
+	// the same line are two SRI transactions and never dirty anything.
+	a := platform.LMUBase
+	src := trace.NewSlice([]trace.Access{
+		{Kind: trace.Store, Addr: a},
+		{Kind: trace.Store, Addr: a + 4},
+		{Kind: trace.Load, Addr: a + 8},  // DRB fill
+		{Kind: trace.Load, Addr: a + 12}, // DRB hit
+	})
+	c := runAlone(t, TC16E, src)
+	r := c.Counters()
+	if r.DMD != 0 {
+		t.Errorf("DMD = %d on a 1.6E", r.DMD)
+	}
+	if r.DMC != 1 {
+		t.Errorf("DMC = %d, want 1 (the load fill)", r.DMC)
+	}
+	// DS: two write-throughs at 10 + one refill at 10.
+	if r.DS != 30 {
+		t.Errorf("DS = %d, want 30", r.DS)
+	}
+}
+
+func TestUnmappedAddressPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unmapped access did not panic")
+		}
+	}()
+	runAlone(t, TC16P, trace.NewSlice([]trace.Access{{Kind: trace.Load, Addr: 0xDEAD0000}}))
+}
+
+func TestCompleteWhileIdlePanics(t *testing.T) {
+	lat := platform.TC27xLatencies()
+	x := sri.New(2)
+	c := MustNew(Config{Index: 0}, &lat, x, trace.NewSlice(nil))
+	defer func() {
+		if recover() == nil {
+			t.Error("Complete on idle core did not panic")
+		}
+	}()
+	c.Complete(0, sri.Completion{Master: 0})
+}
+
+func TestResetCountersKeepsCacheState(t *testing.T) {
+	a := platform.PFlash0Base
+	lat := platform.TC27xLatencies()
+	x := sri.New(2)
+	c := MustNew(Config{Index: 0, Kind: TC16P}, &lat, x, trace.NewSlice([]trace.Access{
+		{Kind: trace.Fetch, Addr: a},
+		{Kind: trace.Fetch, Addr: a + 4},
+	}))
+	for now := int64(0); !c.Done(); now++ {
+		c.Tick(now)
+		for _, cmp := range x.Tick(now) {
+			c.Complete(now, cmp)
+		}
+	}
+	c.ResetCounters()
+	if r := c.Counters(); r != (dsu.Readings{}) {
+		t.Errorf("counters after reset = %v", r)
+	}
+}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tricore"
+)
+
+func TestEngineControlValidation(t *testing.T) {
+	if _, err := EngineControl(EngineControlConfig{Core: 7, Revolutions: 1}); err == nil {
+		t.Error("core 7 accepted")
+	}
+	if _, err := EngineControl(EngineControlConfig{Core: 1, Revolutions: 0}); err == nil {
+		t.Error("zero revolutions accepted")
+	}
+	if _, err := EngineControl(EngineControlConfig{Core: 1, Revolutions: 1, MapLookups: -1}); err == nil {
+		t.Error("negative lookups accepted")
+	}
+}
+
+func TestEngineControlHitsDataFlash(t *testing.T) {
+	src, err := EngineControl(EngineControlConfig{Core: 1, Revolutions: 20, MapLookups: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(src)
+	dfl := st.SRI[platform.TargetOp{Target: platform.DFL, Op: platform.Data}]
+	if dfl != 100 {
+		t.Errorf("dfl data accesses = %d, want 100 (20 revs x 5 lookups)", dfl)
+	}
+	if err := EngineControlDeployment().Validate(); err != nil {
+		t.Errorf("implied deployment invalid: %v", err)
+	}
+}
+
+func TestADASStreamValidation(t *testing.T) {
+	if _, err := ADASStream(ADASStreamConfig{Core: 4, Frames: 1, SamplesPerFrame: 1}); err == nil {
+		t.Error("core 4 accepted")
+	}
+	if _, err := ADASStream(ADASStreamConfig{Core: 1, Frames: 0, SamplesPerFrame: 1}); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestADASStreamShape(t *testing.T) {
+	src, err := ADASStream(ADASStreamConfig{Core: 1, Frames: 4, SamplesPerFrame: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(src)
+	lmu := st.SRI[platform.TargetOp{Target: platform.LMU, Op: platform.Data}]
+	if lmu != 4*16*2 { // one load + one store per sample
+		t.Errorf("lmu data accesses = %d, want 128", lmu)
+	}
+	if st.SRI[platform.TargetOp{Target: platform.DFL, Op: platform.Data}] != 0 {
+		t.Error("ADAS stream touches dfl")
+	}
+	if err := ADASStreamDeployment().Validate(); err != nil {
+		t.Errorf("implied deployment invalid: %v", err)
+	}
+}
+
+// TestArchetypeSoundnessEndToEnd runs both archetypes against an H-Load
+// contender and checks the full model chain on deployments the paper's
+// evaluation does not cover — notably the dfl path, whose 43-cycle
+// transactions are the worst on the platform.
+func TestArchetypeSoundnessEndToEnd(t *testing.T) {
+	lat := platform.TC27xLatencies()
+	cases := []struct {
+		name   string
+		build  func() (trace.Source, error)
+		deploy platform.Deployment
+	}{
+		{
+			name: "engine-control",
+			build: func() (trace.Source, error) {
+				return EngineControl(EngineControlConfig{Core: 1, Revolutions: 50, MapLookups: 4})
+			},
+			deploy: EngineControlDeployment(),
+		},
+		{
+			name: "adas-stream",
+			build: func() (trace.Source, error) {
+				return ADASStream(ADASStreamConfig{Core: 1, Frames: 10, SamplesPerFrame: 32})
+			},
+			deploy: ADASStreamDeployment(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			appSrc, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			iso, err := sim.RunIsolation(lat, 1, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Contender: engine control on core 2 as well, stressing dfl
+			// and lmu together.
+			contSrc, err := EngineControl(EngineControlConfig{Core: 2, Revolutions: 100, MapLookups: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			contIso, err := sim.RunIsolation(lat, 2, sim.Task{Kind: tricore.TC16P, Src: contSrc}, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Union deployment so the scenario covers both tasks' paths.
+			union := platform.Deployment{
+				Code: append(append([]platform.Placement{}, tc.deploy.Code...), EngineControlDeployment().Code...),
+				Data: append(append([]platform.Placement{}, tc.deploy.Data...), EngineControlDeployment().Data...),
+			}
+			in := core.Input{
+				A:        iso.Readings[1],
+				B:        []dsu.Readings{contIso.Readings[2]},
+				Lat:      &lat,
+				Scenario: core.GenericScenario(union),
+			}
+			ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ftcE, err := core.FTC(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			appSrc.Reset()
+			contSrc.Reset()
+			multi, err := sim.Run(lat, map[int]sim.Task{
+				1: {Kind: tricore.TC16P, Src: appSrc},
+				2: {Kind: tricore.TC16P, Src: contSrc},
+			}, 1, sim.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if multi.Cycles > ilpE.WCET() {
+				t.Errorf("observed %d exceeds ILP WCET %d", multi.Cycles, ilpE.WCET())
+			}
+			if ilpE.WCET() > ftcE.WCET() {
+				t.Errorf("ILP %d above fTC %d", ilpE.WCET(), ftcE.WCET())
+			}
+		})
+	}
+}

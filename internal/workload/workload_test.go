@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/tricore"
+)
+
+func TestScenarioValidate(t *testing.T) {
+	if err := Scenario1.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Scenario2.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := Scenario(3).Validate(); err == nil {
+		t.Error("scenario 3 validated")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if HLoad.String() != "H-Load" || MLoad.String() != "M-Load" || LLoad.String() != "L-Load" {
+		t.Error("level strings")
+	}
+	if Level(9).String() != "Level(9)" {
+		t.Error("fallback level string")
+	}
+}
+
+func TestControlLoopValidation(t *testing.T) {
+	if _, err := ControlLoop(AppConfig{Scenario: Scenario(7), Core: 1, Iterations: 1}); err == nil {
+		t.Error("bad scenario accepted")
+	}
+	if _, err := ControlLoop(AppConfig{Scenario: Scenario1, Core: 1, Iterations: 0}); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	if _, err := ControlLoop(AppConfig{Scenario: Scenario1, Core: 5, Iterations: 1}); err == nil {
+		t.Error("core 5 accepted")
+	}
+}
+
+func TestControlLoopScenario1Shape(t *testing.T) {
+	src, err := ControlLoop(AppConfig{Scenario: Scenario1, Core: 1, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(src)
+	if st.Invalid != 0 {
+		t.Fatalf("trace touches unmapped addresses: %v", st)
+	}
+	// Scenario 1 address mix: code in pf0/pf1 (cacheable), data only in
+	// non-cacheable lmu; nothing on dfl, no data in pf.
+	if st.SRI[platform.TargetOp{Target: platform.DFL, Op: platform.Data}] != 0 {
+		t.Error("scenario 1 trace touches dfl")
+	}
+	if st.SRI[platform.TargetOp{Target: platform.PF0, Op: platform.Data}] != 0 ||
+		st.SRI[platform.TargetOp{Target: platform.PF1, Op: platform.Data}] != 0 {
+		t.Error("scenario 1 trace reads data from pflash")
+	}
+	if st.SRI[platform.TargetOp{Target: platform.LMU, Op: platform.Code}] != 0 {
+		t.Error("scenario 1 trace fetches code from lmu")
+	}
+	if st.SRI[platform.TargetOp{Target: platform.PF0, Op: platform.Code}] == 0 ||
+		st.SRI[platform.TargetOp{Target: platform.PF1, Op: platform.Code}] == 0 {
+		t.Error("scenario 1 trace missing pflash code")
+	}
+	// 6 acquisition loads + 3 update stores per iteration.
+	if st.SRI[platform.TargetOp{Target: platform.LMU, Op: platform.Data}] != 10*(6+3) {
+		t.Errorf("lmu data accesses = %d, want 90", st.SRI[platform.TargetOp{Target: platform.LMU, Op: platform.Data}])
+	}
+	if st.Scratchpad == 0 {
+		t.Error("no scratchpad traffic — part of the footprint must be local")
+	}
+}
+
+func TestControlLoopScenario2AddsPFConstants(t *testing.T) {
+	src, err := ControlLoop(AppConfig{Scenario: Scenario2, Core: 1, Iterations: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(src)
+	pfData := st.SRI[platform.TargetOp{Target: platform.PF0, Op: platform.Data}] +
+		st.SRI[platform.TargetOp{Target: platform.PF1, Op: platform.Data}]
+	if pfData == 0 {
+		t.Error("scenario 2 trace has no pflash constant reads")
+	}
+	if st.SRI[platform.TargetOp{Target: platform.DFL, Op: platform.Data}] != 0 {
+		t.Error("scenario 2 trace touches dfl")
+	}
+}
+
+func TestControlLoopDeterministic(t *testing.T) {
+	a, err := ControlLoop(AppConfig{Scenario: Scenario2, Core: 1, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ControlLoop(AppConfig{Scenario: Scenario2, Core: 1, Iterations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := trace.Collect(a), trace.Collect(b)
+	if len(xs) != len(ys) {
+		t.Fatalf("lengths differ: %d vs %d", len(xs), len(ys))
+	}
+	for i := range xs {
+		if xs[i] != ys[i] {
+			t.Fatalf("access %d differs", i)
+		}
+	}
+}
+
+func TestContenderValidation(t *testing.T) {
+	if _, err := Contender(ContenderConfig{Level: Level(9), Scenario: Scenario1, Core: 2, Bursts: 1}); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := Contender(ContenderConfig{Level: HLoad, Scenario: Scenario(0), Core: 2, Bursts: 1}); err == nil {
+		t.Error("bad scenario accepted")
+	}
+	if _, err := Contender(ContenderConfig{Level: HLoad, Scenario: Scenario1, Core: 2, Bursts: 0}); err == nil {
+		t.Error("zero bursts accepted")
+	}
+	if _, err := Contender(ContenderConfig{Level: HLoad, Scenario: Scenario1, Core: 9, Bursts: 1}); err == nil {
+		t.Error("core 9 accepted")
+	}
+}
+
+// sriDensity runs the trace in isolation and returns SRI stall cycles per
+// executed cycle — the "load on shared resources" the paper's levels vary.
+func sriDensity(t *testing.T, src trace.Source) float64 {
+	t.Helper()
+	res, err := sim.RunIsolation(platform.TC27xLatencies(), 2, sim.Task{Kind: tricore.TC16P, Src: src}, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Readings[2]
+	return float64(r.PS+r.DS) / float64(r.CCNT)
+}
+
+func TestContenderLoadOrdering(t *testing.T) {
+	var density [3]float64
+	for i, lv := range Levels {
+		src, err := Contender(ContenderConfig{Level: lv, Scenario: Scenario1, Core: 2, Bursts: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		density[i] = sriDensity(t, src)
+	}
+	if !(density[0] > density[1] && density[1] > density[2]) {
+		t.Errorf("SRI stall density not decreasing H>M>L: %v", density)
+	}
+}
+
+func TestContenderScenario2HasPFConstants(t *testing.T) {
+	src, err := Contender(ContenderConfig{Level: MLoad, Scenario: Scenario2, Core: 2, Bursts: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(src)
+	pfData := st.SRI[platform.TargetOp{Target: platform.PF0, Op: platform.Data}] +
+		st.SRI[platform.TargetOp{Target: platform.PF1, Op: platform.Data}]
+	if pfData == 0 {
+		t.Error("scenario 2 contender reads no pflash constants")
+	}
+}
+
+func TestMicrobenchValidation(t *testing.T) {
+	if _, err := Microbench(MicrobenchConfig{Target: platform.DFL, Op: platform.Code, N: 1}); err == nil {
+		t.Error("dfl/co accepted")
+	}
+	if _, err := Microbench(MicrobenchConfig{Target: platform.LMU, Op: platform.Data, N: 0}); err == nil {
+		t.Error("zero accesses accepted")
+	}
+	if _, err := Microbench(MicrobenchConfig{Target: platform.LMU, Op: platform.Data, N: 1, Core: 7}); err == nil {
+		t.Error("core 7 accepted")
+	}
+}
+
+func TestMicrobenchEveryAccessReachesSRI(t *testing.T) {
+	lat := platform.TC27xLatencies()
+	for _, to := range platform.AccessPairs() {
+		src, err := Microbench(MicrobenchConfig{Target: to.Target, Op: to.Op, N: 50, Core: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", to, err)
+		}
+		res, err := sim.RunIsolation(lat, 1, sim.Task{Kind: tricore.TC16P, Src: src}, sim.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", to, err)
+		}
+		if got := res.PTAC[1][to]; got != 50 {
+			t.Errorf("%s: %d SRI transactions, want 50", to, got)
+		}
+		// The observed stall per access must equal Table 2's cs exactly
+		// (this is the calibration methodology that regenerates Table 2).
+		r := res.Readings[1]
+		stall := r.PS
+		if to.Op == platform.Data {
+			stall = r.DS
+		}
+		if want := 50 * lat.MinStall(to.Target, to.Op); stall != want {
+			t.Errorf("%s: stall = %d, want %d", to, stall, want)
+		}
+	}
+}
+
+func TestMicrobenchStores(t *testing.T) {
+	src, err := Microbench(MicrobenchConfig{Target: platform.LMU, Op: platform.Data, Write: true, N: 10, Core: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := trace.Analyze(src)
+	if st.Stores != 10 || st.Loads != 0 {
+		t.Errorf("stores=%d loads=%d, want 10/0", st.Stores, st.Loads)
+	}
+}
