@@ -1,0 +1,33 @@
+# CI and local workflows invoke identical commands: .github/workflows/ci.yml
+# runs exactly these targets' recipes.
+
+GO ?= go
+
+.PHONY: all build test race bench fmt lint
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+fmt:
+	gofmt -w .
+
+# lint = vet + gofmt diff check (fails if any file needs formatting).
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi

@@ -10,9 +10,11 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dsu"
 	"repro/internal/experiments"
@@ -26,11 +28,13 @@ var benchLat = platform.TC27xLatencies()
 
 // BenchmarkTable2Calibration regenerates Table 2: per-target maximum
 // latencies and minimum stall cycles via calibration microbenchmarks.
+// Each iteration gets a fresh engine so the memo cache cannot turn later
+// iterations into lookups.
 func BenchmarkTable2Calibration(b *testing.B) {
 	var rows []experiments.Table2Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.CalibrateTable2(benchLat)
+		rows, err = experiments.NewRunner(campaign.New(0)).CalibrateTable2(context.Background(), benchLat)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +111,7 @@ func BenchmarkTable6Counters(b *testing.B) {
 			var app dsu.Readings
 			for i := 0; i < b.N; i++ {
 				var err error
-				app, _, err = experiments.Table6Readings(benchLat, sc)
+				app, _, err = experiments.NewRunner(campaign.New(0)).Table6Readings(context.Background(), benchLat, sc)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -124,7 +128,7 @@ func BenchmarkTable6Counters(b *testing.B) {
 // both model predictions, normalised to isolation, per scenario and
 // contender load.
 func BenchmarkFigure4(b *testing.B) {
-	rows, err := experiments.Figure4(benchLat)
+	rows, err := experiments.NewRunner(campaign.New(0)).Figure4(context.Background(), benchLat)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -133,7 +137,7 @@ func BenchmarkFigure4(b *testing.B) {
 		b.Run(fmt.Sprintf("scenario%d/%s", row.Scenario, row.Level), func(b *testing.B) {
 			var g experiments.Figure4Row
 			for i := 0; i < b.N; i++ {
-				g, err = experiments.Figure4Cell(benchLat, row.Scenario, row.Level)
+				g, err = experiments.NewRunner(campaign.New(0)).Figure4Cell(context.Background(), benchLat, row.Scenario, row.Level)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -291,7 +295,7 @@ func BenchmarkTable2PrefetchLMin(b *testing.B) {
 	var rows []experiments.Table2Row
 	for i := 0; i < b.N; i++ {
 		var err error
-		rows, err = experiments.CalibrateTable2(benchLat)
+		rows, err = experiments.NewRunner(campaign.New(0)).CalibrateTable2(context.Background(), benchLat)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -342,4 +346,36 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cycles += res.Cycles
 	}
 	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
+// BenchmarkEvaluationCampaign regenerates the paper's full measured
+// evaluation (Table 2, Table 6, Figure 4, the OEM sweep) on one shared
+// campaign engine per iteration — the whole-paper cost a CI run or an
+// interactive session pays, with isolation baselines deduplicated across
+// artefacts. The memo counters are reported so cache effectiveness is
+// visible next to the wall-clock.
+func BenchmarkEvaluationCampaign(b *testing.B) {
+	ctx := context.Background()
+	var stats campaign.Stats
+	for i := 0; i < b.N; i++ {
+		eng := campaign.New(0)
+		r := experiments.NewRunner(eng)
+		if _, err := r.CalibrateTable2(ctx, benchLat); err != nil {
+			b.Fatal(err)
+		}
+		for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
+			if _, _, err := r.Table6Readings(ctx, benchLat, sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := r.Figure4(ctx, benchLat); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Sweep(ctx, benchLat, experiments.Grid{}); err != nil {
+			b.Fatal(err)
+		}
+		stats = eng.Stats()
+	}
+	b.ReportMetric(float64(stats.SimRuns), "sim_runs")
+	b.ReportMetric(float64(stats.IsolationHits), "memo_hits")
 }

@@ -1,19 +1,29 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section on the simulated TC27x and prints them side by side
-// with the published values.
+// with the published values. All artefacts run on one shared campaign
+// engine, so isolation baselines are measured once per process no matter
+// how many artefacts reuse them.
 //
 // Usage:
 //
-//	experiments              # everything
-//	experiments -only table2 # one artefact: table2, table3, table5,
-//	                         # table6, figure4, sweep
+//	experiments                    # everything
+//	experiments -only table2       # one artefact: table2, table3, table5,
+//	                               # table6, figure4, sweep
+//	experiments -workers 1         # serial campaign (default: all cores)
+//	experiments -only sweep -perturb slow10:+10,fast10:-10
+//	                               # sweep extra latency-table variants
+//	experiments -stats             # campaign engine counters on exit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/platform"
@@ -21,38 +31,82 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "regenerate a single artefact: table2, table3, table5, table6, figure4")
+	only := flag.String("only", "", "regenerate a single artefact: table2, table3, table5, table6, figure4, sweep")
+	workers := flag.Int("workers", 0, "campaign worker-pool width; 0 means all cores")
+	perturb := flag.String("perturb", "", "extra sweep latency perturbations, comma-separated name:±pct (e.g. slow10:+10,fast10:-10)")
+	stats := flag.Bool("stats", false, "print campaign engine counters on exit")
 	flag.Parse()
 
+	perts, err := parsePerturbations(*perturb)
+	if err != nil {
+		fail(err)
+	}
+	if *perturb != "" && *only != "" && *only != "sweep" {
+		fail(fmt.Errorf("-perturb only applies to the sweep artefact, not %q", *only))
+	}
+
+	ctx := context.Background()
+	runner := experiments.NewRunner(campaign.New(*workers))
 	lat := platform.TC27xLatencies()
-	artefacts := map[string]func(platform.LatencyTable) error{
+	artefacts := map[string]func(context.Context, experiments.Runner, platform.LatencyTable) error{
 		"table2":  table2,
 		"table3":  table3,
 		"table5":  table5,
 		"table6":  table6,
 		"figure4": figure4,
-		"sweep":   sweep,
+		"sweep":   sweepArtefact(perts),
+	}
+	run := func(name string) {
+		if err := artefacts[name](ctx, runner, lat); err != nil {
+			fail(err)
+		}
 	}
 	if *only != "" {
-		f, ok := artefacts[*only]
-		if !ok {
+		if _, ok := artefacts[*only]; !ok {
 			fail(fmt.Errorf("unknown artefact %q", *only))
 		}
-		if err := f(lat); err != nil {
-			fail(err)
+		run(*only)
+	} else {
+		for _, name := range []string{"table2", "table3", "table5", "table6", "figure4", "sweep"} {
+			run(name)
+			fmt.Println()
 		}
-		return
 	}
-	for _, name := range []string{"table2", "table3", "table5", "table6", "figure4", "sweep"} {
-		if err := artefacts[name](lat); err != nil {
-			fail(err)
-		}
-		fmt.Println()
+	if *stats {
+		s := runner.Engine().Stats()
+		fmt.Printf("campaign: %d workers, %d sim runs, %d isolation memo hits / %d misses\n",
+			runner.Engine().Workers(), s.SimRuns, s.IsolationHits, s.IsolationMisses)
 	}
 }
 
-func table2(lat platform.LatencyTable) error {
-	rows, err := experiments.CalibrateTable2(lat)
+// parsePerturbations turns "slow10:+10,fast10:-10" into scale
+// perturbations; the unperturbed base table is always swept first.
+func parsePerturbations(spec string) ([]experiments.Perturbation, error) {
+	perts := []experiments.Perturbation{{}}
+	if spec == "" {
+		return perts, nil
+	}
+	seen := map[string]bool{"base": true} // "base" labels the unperturbed table in the output
+	for _, item := range strings.Split(spec, ",") {
+		name, pctStr, ok := strings.Cut(item, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("perturbation %q: want name:±pct", item)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("perturbation %q: name %q already taken", item, name)
+		}
+		seen[name] = true
+		pct, err := strconv.ParseInt(strings.TrimPrefix(pctStr, "+"), 10, 64)
+		if err != nil || pct <= -100 || pct > 1000 {
+			return nil, fmt.Errorf("perturbation %q: percentage must be in (-100, 1000], got %q", item, pctStr)
+		}
+		perts = append(perts, experiments.ScaleLatencies(name, 100+pct, 100))
+	}
+	return perts, nil
+}
+
+func table2(ctx context.Context, r experiments.Runner, lat platform.LatencyTable) error {
+	rows, err := r.CalibrateTable2(ctx, lat)
 	if err != nil {
 		return err
 	}
@@ -65,7 +119,7 @@ func table2(lat platform.LatencyTable) error {
 	return nil
 }
 
-func table3(platform.LatencyTable) error {
+func table3(context.Context, experiments.Runner, platform.LatencyTable) error {
 	fmt.Println("== Table 3: architectural constraints on code/data placement ==")
 	fmt.Printf("%-10s %-6s %-6s %-6s %-6s\n", "", "pf0", "pf1", "dfl", "lmu")
 	for _, row := range []struct {
@@ -91,7 +145,7 @@ func table3(platform.LatencyTable) error {
 	return nil
 }
 
-func table5(platform.LatencyTable) error {
+func table5(context.Context, experiments.Runner, platform.LatencyTable) error {
 	fmt.Println("== Table 5: ILP-PTAC tailoring per scenario ==")
 	for _, sc := range []core.Scenario{core.Scenario1(), core.Scenario2()} {
 		fmt.Printf("%s: deploy=%v\n", sc.Name, sc.Deploy)
@@ -112,11 +166,11 @@ func table5(platform.LatencyTable) error {
 	return nil
 }
 
-func table6(lat platform.LatencyTable) error {
+func table6(ctx context.Context, r experiments.Runner, lat platform.LatencyTable) error {
 	fmt.Println("== Table 6: debug-counter readings (app on core 1, H-Load on core 2) ==")
 	fmt.Printf("%-4s %-7s %10s %8s %8s %10s %10s\n", "", "", "PM", "DMC", "DMD", "PS", "DS")
 	for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
-		app, cont, err := experiments.Table6Readings(lat, sc)
+		app, cont, err := r.Table6Readings(ctx, lat, sc)
 		if err != nil {
 			return err
 		}
@@ -127,8 +181,8 @@ func table6(lat platform.LatencyTable) error {
 	return nil
 }
 
-func figure4(lat platform.LatencyTable) error {
-	rows, err := experiments.Figure4(lat)
+func figure4(ctx context.Context, r experiments.Runner, lat platform.LatencyTable) error {
+	rows, err := r.Figure4(ctx, lat)
 	if err != nil {
 		return err
 	}
@@ -145,18 +199,27 @@ func figure4(lat platform.LatencyTable) error {
 	return nil
 }
 
-func sweep(lat platform.LatencyTable) error {
-	points, err := experiments.Sweep(lat, experiments.AppIterations)
-	if err != nil {
-		return err
+func sweepArtefact(perts []experiments.Perturbation) func(context.Context, experiments.Runner, platform.LatencyTable) error {
+	return func(ctx context.Context, r experiments.Runner, lat platform.LatencyTable) error {
+		points, err := r.Sweep(ctx, lat, experiments.Grid{
+			AppIterations: experiments.AppIterations,
+			Perturbations: perts,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("== Design-space sweep (pre-integration, isolation measurements only) ==")
+		fmt.Printf("%-10s %-10s %-8s %12s %12s %12s\n", "platform", "deploy", "co-load", "isolation", "ILP WCET", "fTC WCET")
+		for _, p := range points {
+			name := p.Perturbation
+			if name == "" {
+				name = "base"
+			}
+			fmt.Printf("%-10s scenario%-2d %-8s %12d %12d %12d\n",
+				name, p.Scenario, p.Level, p.IsolationCycles, p.ILP.WCET(), p.FTC.WCET())
+		}
+		return nil
 	}
-	fmt.Println("== Design-space sweep (pre-integration, isolation measurements only) ==")
-	fmt.Printf("%-10s %-8s %12s %12s %12s\n", "deploy", "co-load", "isolation", "ILP WCET", "fTC WCET")
-	for _, p := range points {
-		fmt.Printf("scenario%-2d %-8s %12d %12d %12d\n",
-			p.Scenario, p.Level, p.IsolationCycles, p.ILP.WCET(), p.FTC.WCET())
-	}
-	return nil
 }
 
 func dash(v int64) string {

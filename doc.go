@@ -9,10 +9,18 @@
 // internal/core, and every substrate it depends on (platform description,
 // SRI crossbar, TriCore cores, caches, DSU counters, simulation harness,
 // LP/ILP solver, workload generators, experiment drivers) alongside it.
+// The evaluation itself runs as campaigns on internal/campaign, a
+// parallel experiment engine: independent measurement cells fan out
+// across a worker pool, isolation baselines are memoized across cells
+// and artefacts, and results are assembled in stable input order so a
+// parallel campaign is byte-identical to a serial one. The drivers in
+// internal/experiments (Table 2 calibration, Table 6 readings, Figure 4,
+// the multi-dimensional OEM design-space sweep) all go through it.
 // Executables live under cmd/, runnable walkthroughs under examples/, and
 // the benchmark harness regenerating every table and figure of the paper's
 // evaluation is bench_test.go in this directory.
 //
-// See README.md for the tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for the tour and for how to run the experiments and the
+// CI gates (build, vet, gofmt, race tests, bench smoke — make mirrors
+// the workflow exactly).
 package repro

@@ -1,0 +1,264 @@
+// Package campaign is the parallel experiment-campaign engine: it fans
+// independent simulation runs across a pool of workers, memoizes isolation
+// measurements so sweep cells stop recomputing shared baselines, and
+// assembles results in stable input order so a parallel campaign is
+// byte-identical to a serial one.
+//
+// The paper's evaluation is a grid of measurement campaigns — Table 2
+// calibration paths, Table 6 readings, Figure 4 cells, the OEM budget
+// sweep — whose cells are mutually independent: every cell is a
+// deterministic simulation of a fixed trace on a fixed latency table.
+// That independence is what the engine exploits. Determinism is preserved
+// by construction: cells never share mutable state (each sim.Run builds
+// its own crossbar and cores), workers write results only into their own
+// input slot, and the memo cache can substitute a cached result for a
+// recomputation only because the simulator is deterministic in its inputs.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+)
+
+// Engine schedules campaign cells across a fixed worker pool and caches
+// isolation measurements across cells, campaigns and artefacts.
+//
+// An Engine is safe for concurrent use. The zero value is not usable; use
+// New.
+type Engine struct {
+	workers int
+
+	mu  sync.Mutex
+	iso map[isoKey]*isoEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	runs   atomic.Int64
+}
+
+// New returns an engine with the given worker-pool width. workers <= 0
+// selects GOMAXPROCS, the hardware parallelism available to the process.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, iso: make(map[isoKey]*isoEntry)}
+}
+
+// Workers reports the pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// IsolationHits counts isolation runs served from the memo cache.
+	IsolationHits int64
+	// IsolationMisses counts isolation runs that had to be simulated.
+	IsolationMisses int64
+	// SimRuns counts simulator invocations the engine performed (memo
+	// misses plus co-scheduled runs).
+	SimRuns int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		IsolationHits:   e.hits.Load(),
+		IsolationMisses: e.misses.Load(),
+		SimRuns:         e.runs.Load(),
+	}
+}
+
+// Job is one independent campaign cell: it produces a value or an error.
+// Jobs must not share mutable state with each other.
+type Job[T any] func(ctx context.Context) (T, error)
+
+// Outcome is the per-cell result of a campaign: exactly one of Value and
+// Err is meaningful. Cells that were never started because the campaign's
+// context was cancelled carry the context's error.
+type Outcome[T any] struct {
+	Value T
+	Err   error
+}
+
+// errNotRun marks outcome slots whose job never started; it is replaced by
+// the context error after the pool drains and never escapes the package.
+var errNotRun = errors.New("campaign: job not run")
+
+// All runs every job on e's worker pool and returns one outcome per job,
+// in input order, regardless of which worker finished which job when. It
+// collects per-run errors rather than failing fast: a failing cell never
+// prevents the remaining cells from running. Cancelling ctx stops workers
+// from picking up new jobs; jobs that never started report ctx.Err().
+func All[T any](ctx context.Context, e *Engine, jobs []Job[T]) []Outcome[T] {
+	outcomes := make([]Outcome[T], len(jobs))
+	for i := range outcomes {
+		outcomes[i].Err = errNotRun
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v, err := jobs[i](ctx)
+				outcomes[i] = Outcome[T]{Value: v, Err: err}
+			}
+		}()
+	}
+
+feed:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	for i := range outcomes {
+		if outcomes[i].Err == errNotRun {
+			outcomes[i] = Outcome[T]{Err: context.Cause(ctx)}
+		}
+	}
+	return outcomes
+}
+
+// Collect runs every job on e's worker pool and returns the values in
+// input order. If any cell failed, it returns the values gathered so far
+// alongside an error joining every per-cell failure (each annotated with
+// its cell index).
+func Collect[T any](ctx context.Context, e *Engine, jobs []Job[T]) ([]T, error) {
+	outcomes := All(ctx, e, jobs)
+	values := make([]T, len(outcomes))
+	var errs []error
+	for i, o := range outcomes {
+		values[i] = o.Value
+		if o.Err != nil {
+			errs = append(errs, fmt.Errorf("cell %d: %w", i, o.Err))
+		}
+	}
+	if len(errs) > 0 {
+		return values, errors.Join(errs...)
+	}
+	return values, nil
+}
+
+// isoKey identifies one isolation measurement: the full latency table (a
+// comparable value type), the core the task runs on, the caller's
+// canonical description of the task, and the run configuration.
+type isoKey struct {
+	lat  platform.LatencyTable
+	core int
+	task string
+	cfg  string
+}
+
+// isoEntry is a once-per-key computation slot: concurrent requests for the
+// same key block on the first one's sync.Once instead of simulating twice.
+type isoEntry struct {
+	once sync.Once
+	res  sim.Result
+	err  error
+}
+
+// configKey canonicalises a sim.Config into a deterministic string (map
+// fields are emitted in sorted key order).
+func configKey(cfg sim.Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "max=%d;pf=%t;jitter=%d", cfg.MaxCycles, cfg.FlashPrefetch, cfg.JitterSeed)
+	writeMap := func(name string, m map[int]int64) {
+		if len(m) == 0 {
+			return
+		}
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(&b, ";%s=", name)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d:%d,", k, m[k])
+		}
+	}
+	writeMap("stall", cfg.StallBudgets)
+	if len(cfg.SRIPriorities) > 0 {
+		keys := make([]int, 0, len(cfg.SRIPriorities))
+		for k := range cfg.SRIPriorities {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		b.WriteString(";prio=")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%d:%d,", k, cfg.SRIPriorities[k])
+		}
+	}
+	return b.String()
+}
+
+// Isolation performs a memoized isolation run. taskKey must canonically
+// describe the task build produces: two calls may share a key only if
+// build yields byte-identical traces on identical core kinds. On a cache
+// hit, build is never called and the cached result is returned; on a miss,
+// the task is built and simulated exactly once, even under concurrent
+// requests for the same key.
+//
+// The returned Result is shared between all callers of the same key and
+// must be treated as read-only.
+func (e *Engine) Isolation(ctx context.Context, lat platform.LatencyTable, coreIdx int, taskKey string, cfg sim.Config, build func() (sim.Task, error)) (sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	key := isoKey{lat: lat, core: coreIdx, task: taskKey, cfg: configKey(cfg)}
+
+	e.mu.Lock()
+	entry, ok := e.iso[key]
+	if !ok {
+		entry = &isoEntry{}
+		e.iso[key] = entry
+	}
+	e.mu.Unlock()
+
+	computed := false
+	entry.once.Do(func() {
+		computed = true
+		e.misses.Add(1)
+		task, err := build()
+		if err != nil {
+			entry.err = fmt.Errorf("campaign: building task %q: %w", taskKey, err)
+			return
+		}
+		e.runs.Add(1)
+		entry.res, entry.err = sim.RunIsolation(lat, coreIdx, task, cfg)
+	})
+	if !computed {
+		e.hits.Add(1)
+	}
+	return entry.res, entry.err
+}
+
+// Run performs a (non-memoized) co-scheduled simulation through the
+// engine, so cancellation and run accounting cover multicore cells too.
+func (e *Engine) Run(ctx context.Context, lat platform.LatencyTable, tasks map[int]sim.Task, analysed int, cfg sim.Config) (sim.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	e.runs.Add(1)
+	return sim.Run(lat, tasks, analysed, cfg)
+}

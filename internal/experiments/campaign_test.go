@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/workload"
+)
+
+// grid2x3x2 is a multi-dimensional grid exercising every sweep dimension:
+// both scenarios, all three loads, base table plus a 25%-slower variant.
+var grid2x3x2 = Grid{
+	AppIterations: 100,
+	Perturbations: []Perturbation{{}, ScaleLatencies("slow25", 125, 100)},
+}
+
+// TestParallelSweepMatchesSerial is the engine's core guarantee: a
+// campaign fanned across 8 workers returns byte-identical results to the
+// same campaign on 1 worker.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	serial, err := NewRunner(campaign.New(1)).Sweep(context.Background(), lat, grid2x3x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(campaign.New(8)).Sweep(context.Background(), lat, grid2x3x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel sweep diverges from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestParallelFigure4MatchesSerial extends the determinism guarantee to
+// the co-scheduled campaign.
+func TestParallelFigure4MatchesSerial(t *testing.T) {
+	serial, err := NewRunner(campaign.New(1)).Figure4(context.Background(), lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(campaign.New(8)).Figure4(context.Background(), lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel Figure 4 diverges from serial:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}
+
+// TestSweepGridShape: the grid enumerates perturbations outermost, then
+// scenarios, then levels, and labels each point with its variant.
+func TestSweepGridShape(t *testing.T) {
+	if got, want := grid2x3x2.Size(), 12; got != want {
+		t.Fatalf("grid size %d, want %d", got, want)
+	}
+	points, err := NewRunner(nil).Sweep(context.Background(), lat, grid2x3x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 12 {
+		t.Fatalf("%d points, want 12", len(points))
+	}
+	i := 0
+	for _, pname := range []string{"", "slow25"} {
+		for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
+			for _, lv := range workload.Levels {
+				p := points[i]
+				if p.Perturbation != pname || p.Scenario != sc || p.Level != lv {
+					t.Errorf("point %d = (%q, Sc%d, %s), want (%q, Sc%d, %s)",
+						i, p.Perturbation, p.Scenario, p.Level, pname, sc, lv)
+				}
+				i++
+			}
+		}
+	}
+	// The slowed platform must show strictly larger isolation times.
+	for i := 0; i < 6; i++ {
+		if points[i+6].IsolationCycles <= points[i].IsolationCycles {
+			t.Errorf("slow25 cell %d not slower than base: %d vs %d",
+				i, points[i+6].IsolationCycles, points[i].IsolationCycles)
+		}
+	}
+}
+
+// TestSweepMemoizesIsolationRuns pins the memoization payoff down to
+// exact counts: a 2x3 sweep needs 2 app baselines and 6 contender
+// measurements (8 misses); the 4 remaining app requests are cache hits.
+func TestSweepMemoizesIsolationRuns(t *testing.T) {
+	eng := campaign.New(4)
+	if _, err := NewRunner(eng).Sweep(context.Background(), lat, Grid{AppIterations: 100}); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.IsolationMisses != 8 {
+		t.Errorf("%d isolation misses, want 8 (2 app + 6 contenders)", s.IsolationMisses)
+	}
+	if s.IsolationHits != 4 {
+		t.Errorf("%d isolation hits, want 4 (2 scenarios x 2 reused app baselines)", s.IsolationHits)
+	}
+
+	// A second identical sweep on the same engine is all hits.
+	if _, err := NewRunner(eng).Sweep(context.Background(), lat, Grid{AppIterations: 100}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := eng.Stats()
+	if s2.IsolationMisses != s.IsolationMisses {
+		t.Errorf("second sweep recomputed: %d misses, want %d", s2.IsolationMisses, s.IsolationMisses)
+	}
+	if want := s.IsolationHits + 12; s2.IsolationHits != want {
+		t.Errorf("second sweep hits = %d, want %d", s2.IsolationHits, want)
+	}
+}
+
+// TestFigure4MemoizesAcrossArtefacts: Figure 4 after a sweep on the same
+// engine reuses every isolation baseline and only adds co-scheduled runs.
+func TestFigure4MemoizesAcrossArtefacts(t *testing.T) {
+	eng := campaign.New(4)
+	r := NewRunner(eng)
+	if _, err := r.Sweep(context.Background(), lat, Grid{}); err != nil {
+		t.Fatal(err)
+	}
+	after := eng.Stats()
+	if _, err := r.Figure4(context.Background(), lat); err != nil {
+		t.Fatal(err)
+	}
+	s := eng.Stats()
+	if s.IsolationMisses != after.IsolationMisses {
+		t.Errorf("Figure 4 re-simulated %d isolation baselines the sweep already measured",
+			s.IsolationMisses-after.IsolationMisses)
+	}
+	if got, want := s.SimRuns-after.SimRuns, int64(6); got != want {
+		t.Errorf("Figure 4 added %d sim runs, want %d (the co-scheduled cells)", got, want)
+	}
+}
+
+// TestSweepCancellation: a cancelled campaign surfaces the context error
+// instead of hanging or fabricating points.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewRunner(campaign.New(2)).Sweep(ctx, lat, Grid{AppIterations: 100})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepCompatWrapperShape: the historical serial entry point still
+// returns the paper's 6-point grid in the historical order.
+func TestSweepCompatWrapperShape(t *testing.T) {
+	points, err := Sweep(lat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("%d points, want 6", len(points))
+	}
+	for _, p := range points {
+		if p.Perturbation != "" {
+			t.Errorf("wrapper sweep carries perturbation %q", p.Perturbation)
+		}
+	}
+}
+
+// TestScaleLatenciesPreservesValidity: scaled tables must stay usable by
+// the simulator and the models.
+func TestScaleLatenciesPreservesValidity(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		num, den int64
+	}{
+		{"slow150", 250, 100},
+		{"fast", 40, 100},
+		{"tiny", 1, 100}, // floors at 1 cycle
+	} {
+		scaled := ScaleLatencies(tc.name, tc.num, tc.den).Apply(lat)
+		if err := scaled.Validate(); err != nil {
+			t.Errorf("%s: scaled table invalid: %v", tc.name, err)
+		}
+	}
+	// The identity perturbation leaves the table untouched.
+	if got := (Perturbation{}).apply(lat); got != lat {
+		t.Error("identity perturbation changed the table")
+	}
+}

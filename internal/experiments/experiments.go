@@ -4,11 +4,22 @@
 // predictions of Figure 4. The command-line tools, the benchmark harness
 // and the integration tests all call through here so that the numbers
 // reported anywhere come from one implementation.
+//
+// Every artefact is a campaign of independent measurement cells, so all of
+// them run on the internal/campaign engine: cells fan out across a worker
+// pool and isolation baselines (the application per scenario, contenders
+// per sizing, calibration microbenchmarks per path) are memoized across
+// cells and artefacts. The top-level functions (CalibrateTable2, Figure4,
+// Sweep, ...) keep their historical serial signatures and delegate to a
+// process-wide default Runner; callers that want their own worker count,
+// cancellation or cache lifetime construct a Runner explicitly.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dsu"
 	"repro/internal/platform"
@@ -25,6 +36,30 @@ const (
 	AnalysedCore  = 1
 	ContenderCore = 2
 )
+
+// Runner executes evaluation campaigns on a campaign engine. The zero
+// value is not usable; use NewRunner.
+type Runner struct {
+	eng *campaign.Engine
+}
+
+// NewRunner returns a Runner backed by eng; a nil eng gets a fresh engine
+// sized to the hardware (campaign.New(0)).
+func NewRunner(eng *campaign.Engine) Runner {
+	if eng == nil {
+		eng = campaign.New(0)
+	}
+	return Runner{eng: eng}
+}
+
+// Engine exposes the underlying campaign engine (for stats reporting).
+func (r Runner) Engine() *campaign.Engine { return r.eng }
+
+// defaultRunner backs the engine-less top-level wrappers. One process-wide
+// engine means repeated artefact regenerations (tests, benchmarks, the
+// experiments command) share isolation baselines instead of recomputing
+// them.
+var defaultRunner = NewRunner(nil)
 
 // Table2Row is one measured row of Table 2: per-access end-to-end latency
 // (maximum and minimum) and minimum stall cycles for one SRI target,
@@ -44,6 +79,18 @@ type Table2Row struct {
 	CsCo, CsDa int64
 }
 
+// CalibrateTable2 regenerates Table 2 on the default runner.
+func CalibrateTable2(lat platform.LatencyTable) ([]Table2Row, error) {
+	return defaultRunner.CalibrateTable2(context.Background(), lat)
+}
+
+// calibPath is the measured characterisation of one (target, op) path.
+type calibPath struct {
+	tgt            platform.Target
+	op             platform.Op
+	lMax, lMin, cs int64
+}
+
 // CalibrateTable2 reproduces the paper's Table 2 methodology: for every
 // (target, op) path, run a microbenchmark with a known number of
 // back-to-back SRI accesses in isolation and divide the CCNT and
@@ -51,49 +98,69 @@ type Table2Row struct {
 // each access spends in the pipeline before the transaction is issued is
 // subtracted from the latency figure. Each path is measured twice: with
 // the flash prefetch buffers off (worst case, lmax) and on with a
-// sequential stream (best case, lmin).
-func CalibrateTable2(lat platform.LatencyTable) ([]Table2Row, error) {
+// sequential stream (best case, lmin). The paths are independent
+// measurement cells and run in parallel on the engine.
+func (r Runner) CalibrateTable2(ctx context.Context, lat platform.LatencyTable) ([]Table2Row, error) {
 	const n = 1000
-	rows := make([]Table2Row, 0, len(platform.Targets))
+	var jobs []campaign.Job[calibPath]
 	for _, tgt := range platform.Targets {
-		row := Table2Row{Target: tgt, LCo: -1, LDa: -1, LMinCo: -1, LMinDa: -1, CsCo: -1, CsDa: -1}
 		for _, op := range platform.Ops {
 			if !platform.CanAccess(tgt, op) {
 				continue
 			}
-			measure := func(prefetch bool) (perAccessLat, perAccessStall int64, err error) {
-				src, err := workload.Microbench(workload.MicrobenchConfig{
-					Target: tgt, Op: op, N: n, Core: AnalysedCore,
-				})
+			jobs = append(jobs, func(ctx context.Context) (calibPath, error) {
+				measure := func(prefetch bool) (perAccessLat, perAccessStall int64, err error) {
+					key := fmt.Sprintf("microbench/%s/%s/n%d/tc16p", tgt, op, n)
+					res, err := r.eng.Isolation(ctx, lat, AnalysedCore, key,
+						sim.Config{FlashPrefetch: prefetch}, func() (sim.Task, error) {
+							src, err := workload.Microbench(workload.MicrobenchConfig{
+								Target: tgt, Op: op, N: n, Core: AnalysedCore,
+							})
+							if err != nil {
+								return sim.Task{}, err
+							}
+							return sim.Task{Kind: tricore.TC16P, Src: src}, nil
+						})
+					if err != nil {
+						return 0, 0, fmt.Errorf("calibrating %s/%s: %w", tgt, op, err)
+					}
+					rd := res.Readings[AnalysedCore]
+					stall := rd.PS
+					if op == platform.Data {
+						stall = rd.DS
+					}
+					// One dispatch cycle per access is pipeline time, not
+					// transaction latency.
+					return rd.CCNT/n - 1, stall / n, nil
+				}
+				lMax, cs, err := measure(false)
 				if err != nil {
-					return 0, 0, err
+					return calibPath{}, err
 				}
-				res, err := sim.RunIsolation(lat, AnalysedCore,
-					sim.Task{Kind: tricore.TC16P, Src: src}, sim.Config{FlashPrefetch: prefetch})
+				lMin, _, err := measure(true)
 				if err != nil {
-					return 0, 0, fmt.Errorf("calibrating %s/%s: %w", tgt, op, err)
+					return calibPath{}, err
 				}
-				r := res.Readings[AnalysedCore]
-				stall := r.PS
-				if op == platform.Data {
-					stall = r.DS
-				}
-				// One dispatch cycle per access is pipeline time, not
-				// transaction latency.
-				return r.CCNT/n - 1, stall / n, nil
+				return calibPath{tgt: tgt, op: op, lMax: lMax, lMin: lMin, cs: cs}, nil
+			})
+		}
+	}
+	paths, err := campaign.Collect(ctx, r.eng, jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	rows := make([]Table2Row, 0, len(platform.Targets))
+	for _, tgt := range platform.Targets {
+		row := Table2Row{Target: tgt, LCo: -1, LDa: -1, LMinCo: -1, LMinDa: -1, CsCo: -1, CsDa: -1}
+		for _, p := range paths {
+			if p.tgt != tgt {
+				continue
 			}
-			lMax, cs, err := measure(false)
-			if err != nil {
-				return nil, err
-			}
-			lMin, _, err := measure(true)
-			if err != nil {
-				return nil, err
-			}
-			if op == platform.Code {
-				row.LCo, row.LMinCo, row.CsCo = lMax, lMin, cs
+			if p.op == platform.Code {
+				row.LCo, row.LMinCo, row.CsCo = p.lMax, p.lMin, p.cs
 			} else {
-				row.LDa, row.LMinDa, row.CsDa = lMax, lMin, cs
+				row.LDa, row.LMinDa, row.CsDa = p.lMax, p.lMin, p.cs
 			}
 		}
 		rows = append(rows, row)
@@ -107,12 +174,29 @@ func CalibrateTable2(lat platform.LatencyTable) ([]Table2Row, error) {
 const AppIterations = 300
 
 // buildApp constructs the analysed application for a scenario.
-func buildApp(sc workload.Scenario) (trace.Source, error) {
+func buildApp(sc workload.Scenario, iterations int) (trace.Source, error) {
 	return workload.ControlLoop(workload.AppConfig{
 		Scenario:   sc,
 		Core:       AnalysedCore,
-		Iterations: AppIterations,
+		Iterations: iterations,
 	})
+}
+
+// appIsolation measures the analysed application in isolation, memoized
+// per (latency table, scenario, iteration count).
+func (r Runner) appIsolation(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario, iterations int) (dsu.Readings, error) {
+	key := fmt.Sprintf("app/sc%d/iters%d/tc16p", sc, iterations)
+	res, err := r.eng.Isolation(ctx, lat, AnalysedCore, key, sim.Config{}, func() (sim.Task, error) {
+		src, err := buildApp(sc, iterations)
+		if err != nil {
+			return sim.Task{}, err
+		}
+		return sim.Task{Kind: tricore.TC16P, Src: src}, nil
+	})
+	if err != nil {
+		return dsu.Readings{}, err
+	}
+	return res.Readings[AnalysedCore], nil
 }
 
 // coreScenario maps the workload scenario tag to the model's tailoring.
@@ -123,50 +207,88 @@ func coreScenario(sc workload.Scenario) core.Scenario {
 	return core.Scenario1()
 }
 
+// Table6Readings regenerates Table 6 for one scenario on the default
+// runner.
+func Table6Readings(lat platform.LatencyTable, sc workload.Scenario) (app, contender dsu.Readings, err error) {
+	return defaultRunner.Table6Readings(context.Background(), lat, sc)
+}
+
 // Table6Readings reproduces Table 6 for one scenario: the debug-counter
 // readings of the analysed application (core 1) and the H-Load contender
 // (core 2), each measured in isolation.
-func Table6Readings(lat platform.LatencyTable, sc workload.Scenario) (app, contender dsu.Readings, err error) {
-	appSrc, err := buildApp(sc)
+func (r Runner) Table6Readings(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario) (app, contender dsu.Readings, err error) {
+	appR, err := r.appIsolation(ctx, lat, sc, AppIterations)
 	if err != nil {
 		return dsu.Readings{}, dsu.Readings{}, err
 	}
-	appRes, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
-	if err != nil {
-		return dsu.Readings{}, dsu.Readings{}, err
-	}
-	appR := appRes.Readings[AnalysedCore]
-
-	_, contR, err := sizeContender(lat, sc, workload.HLoad, appR)
+	contR, err := r.contenderReadings(ctx, lat, sc, workload.HLoad, contenderBursts(lat, workload.HLoad, appR))
 	if err != nil {
 		return dsu.Readings{}, dsu.Readings{}, err
 	}
 	return appR, contR, nil
 }
 
-// sizeContender builds a contender whose total SRI request count is the
-// level's fraction of the application's (over-approximated from its stall
-// readings) and measures it in isolation. The contender executes exactly
-// this trace in the co-scheduled run, so its isolation readings bound the
-// load it injects into the analysis window — the condition under which the
-// ILP-PTAC contender constraints (Eq. 22-23) are sound.
-func sizeContender(lat platform.LatencyTable, sc workload.Scenario, lv workload.Level, appR dsu.Readings) (trace.Source, dsu.Readings, error) {
+// contenderBursts sizes a contender for a load level: its total SRI
+// request count is the level's fraction of the application's
+// (over-approximated from its stall readings).
+func contenderBursts(lat platform.LatencyTable, lv workload.Level, appR dsu.Readings) int {
 	nCo, nDa := core.AccessBounds(appR, &lat)
 	target := lv.LoadFraction() * float64(nCo+nDa)
-	per := lv.AccessesPerBurst()
-	bursts := int(target)/per + 1
-	src, err := workload.Contender(workload.ContenderConfig{
+	return int(target)/lv.AccessesPerBurst() + 1
+}
+
+// buildContender constructs the contender trace for a sizing; isolation
+// measurement and co-scheduling both build from the same config, so the
+// co-run replays exactly the measured trace.
+func buildContender(sc workload.Scenario, lv workload.Level, bursts int) (trace.Source, error) {
+	return workload.Contender(workload.ContenderConfig{
 		Level: lv, Scenario: sc, Core: ContenderCore, Bursts: bursts,
 	})
+}
+
+// contenderReadings measures the sized contender in isolation, memoized
+// per (latency table, scenario, level, burst count). The contender
+// executes exactly this trace in the co-scheduled run, so its isolation
+// readings bound the load it injects into the analysis window — the
+// condition under which the ILP-PTAC contender constraints (Eq. 22-23)
+// are sound.
+func (r Runner) contenderReadings(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario, lv workload.Level, bursts int) (dsu.Readings, error) {
+	key := fmt.Sprintf("cont/sc%d/%s/bursts%d/tc16p", sc, lv, bursts)
+	res, err := r.eng.Isolation(ctx, lat, ContenderCore, key, sim.Config{}, func() (sim.Task, error) {
+		src, err := buildContender(sc, lv, bursts)
+		if err != nil {
+			return sim.Task{}, err
+		}
+		return sim.Task{Kind: tricore.TC16P, Src: src}, nil
+	})
+	if err != nil {
+		return dsu.Readings{}, err
+	}
+	return res.Readings[ContenderCore], nil
+}
+
+// sizeContender returns both the contender's isolation readings and a
+// fresh source replaying exactly the measured trace, for cells that go on
+// to co-schedule it (Figure 4). The generators are deterministic, so the
+// rebuilt source is identical to the one the (possibly cached) isolation
+// measurement executed.
+func (r Runner) sizeContender(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario, lv workload.Level, appR dsu.Readings) (trace.Source, dsu.Readings, error) {
+	bursts := contenderBursts(lat, lv, appR)
+	contR, err := r.contenderReadings(ctx, lat, sc, lv, bursts)
 	if err != nil {
 		return nil, dsu.Readings{}, err
 	}
-	res, err := sim.RunIsolation(lat, ContenderCore, sim.Task{Kind: tricore.TC16P, Src: src}, sim.Config{})
+	src, err := buildContender(sc, lv, bursts)
 	if err != nil {
 		return nil, dsu.Readings{}, err
 	}
-	src.Reset()
-	return src, res.Readings[ContenderCore], nil
+	return src, contR, nil
+}
+
+// sizeContender keeps the historical in-package helper signature alive for
+// the soundness tests; it delegates to the default runner.
+func sizeContender(lat platform.LatencyTable, sc workload.Scenario, lv workload.Level, appR dsu.Readings) (trace.Source, dsu.Readings, error) {
+	return defaultRunner.sizeContender(context.Background(), lat, sc, lv, appR)
 }
 
 // Figure4Row is one bar group of Figure 4: for a scenario and contender
@@ -195,39 +317,48 @@ func (r Figure4Row) ObservedRatio() float64 {
 	return float64(r.ObservedCycles) / float64(r.IsolationCycles)
 }
 
-// Figure4 runs the full evaluation sweep: both deployment scenarios
-// against all three contender loads.
+// Figure4 regenerates the full Figure 4 sweep on the default runner.
 func Figure4(lat platform.LatencyTable) ([]Figure4Row, error) {
-	var rows []Figure4Row
+	return defaultRunner.Figure4(context.Background(), lat)
+}
+
+// Figure4 runs the full evaluation sweep: both deployment scenarios
+// against all three contender loads, one engine cell per (scenario, load)
+// pair. The application's isolation baseline is measured once per scenario
+// and shared by its three cells through the engine's memo cache.
+func (r Runner) Figure4(ctx context.Context, lat platform.LatencyTable) ([]Figure4Row, error) {
+	var jobs []campaign.Job[Figure4Row]
 	for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
 		for _, lv := range workload.Levels {
-			row, err := Figure4Cell(lat, sc, lv)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: scenario %d %s: %w", sc, lv, err)
-			}
-			rows = append(rows, row)
+			jobs = append(jobs, func(ctx context.Context) (Figure4Row, error) {
+				row, err := r.Figure4Cell(ctx, lat, sc, lv)
+				if err != nil {
+					return Figure4Row{}, fmt.Errorf("experiments: scenario %d %s: %w", sc, lv, err)
+				}
+				return row, nil
+			})
 		}
 	}
-	return rows, nil
+	return campaign.Collect(ctx, r.eng, jobs)
+}
+
+// Figure4Cell regenerates one Figure 4 cell on the default runner.
+func Figure4Cell(lat platform.LatencyTable, sc workload.Scenario, lv workload.Level) (Figure4Row, error) {
+	return defaultRunner.Figure4Cell(context.Background(), lat, sc, lv)
 }
 
 // Figure4Cell measures one (scenario, load) cell of Figure 4.
-func Figure4Cell(lat platform.LatencyTable, sc workload.Scenario, lv workload.Level) (Figure4Row, error) {
+func (r Runner) Figure4Cell(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario, lv workload.Level) (Figure4Row, error) {
 	// Step 1: the application in isolation (the pre-integration
 	// measurement an SWP can take).
-	appSrc, err := buildApp(sc)
+	appR, err := r.appIsolation(ctx, lat, sc, AppIterations)
 	if err != nil {
 		return Figure4Row{}, err
 	}
-	isoRes, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: appSrc}, sim.Config{})
-	if err != nil {
-		return Figure4Row{}, err
-	}
-	appR := isoRes.Readings[AnalysedCore]
 
 	// Step 2: the contender at this load level, measured in isolation.
 	in := core.Input{A: appR, Lat: &lat, Scenario: coreScenario(sc)}
-	contSrc, contR, err := sizeContender(lat, sc, lv, appR)
+	contSrc, contR, err := r.sizeContender(ctx, lat, sc, lv, appR)
 	if err != nil {
 		return Figure4Row{}, err
 	}
@@ -246,8 +377,11 @@ func Figure4Cell(lat platform.LatencyTable, sc workload.Scenario, lv workload.Le
 
 	// Step 4: the deployment-time truth the models must upper-bound —
 	// both tasks co-running.
-	appSrc.Reset()
-	multiRes, err := sim.Run(lat, map[int]sim.Task{
+	appSrc, err := buildApp(sc, AppIterations)
+	if err != nil {
+		return Figure4Row{}, err
+	}
+	multiRes, err := r.eng.Run(ctx, lat, map[int]sim.Task{
 		AnalysedCore:  {Kind: tricore.TC16P, Src: appSrc},
 		ContenderCore: {Kind: tricore.TC16P, Src: contSrc},
 	}, AnalysedCore, sim.Config{})

@@ -1,22 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dsu"
 	"repro/internal/platform"
-	"repro/internal/sim"
-	"repro/internal/tricore"
 	"repro/internal/workload"
 )
 
 // SweepPoint is one cell of a design-space exploration: a deployment
-// scenario paired with a candidate co-runner load, and the WCET verdicts
-// each model gives for it.
+// scenario paired with a candidate co-runner load on a (possibly
+// perturbed) platform characterisation, and the WCET verdicts each model
+// gives for it.
 type SweepPoint struct {
 	Scenario workload.Scenario
 	Level    workload.Level
+	// Perturbation names the latency-table variant the cell was evaluated
+	// on; empty for the unperturbed base table.
+	Perturbation string
 
 	IsolationCycles int64
 	ILP             core.Estimate
@@ -64,47 +68,154 @@ func (p SweepPoint) Judge(budget int64) Verdict {
 	}
 }
 
-// Sweep explores every (deployment scenario, contender load) combination
-// for the control-loop application — the pre-integration exploration
-// workflow §4.2 advertises ("a powerful and reactive method for OEM and
-// SWPs to explore and evaluate different scheduling allocations and
-// deployment scenarios ... before actual integration"). All numbers come
-// from isolation measurements only; nothing is co-scheduled.
-func Sweep(lat platform.LatencyTable, appIterations int) ([]SweepPoint, error) {
-	var points []SweepPoint
-	for _, sc := range []workload.Scenario{workload.Scenario1, workload.Scenario2} {
-		app, err := workload.ControlLoop(workload.AppConfig{Scenario: sc, Core: AnalysedCore, Iterations: appIterations})
-		if err != nil {
-			return nil, err
-		}
-		iso, err := sim.RunIsolation(lat, AnalysedCore, sim.Task{Kind: tricore.TC16P, Src: app}, sim.Config{})
-		if err != nil {
-			return nil, err
-		}
-		appR := iso.Readings[AnalysedCore]
+// Perturbation is one latency-table variant of a sweep grid: a named,
+// deterministic transformation of the base characterisation. Perturbed
+// sweeps answer the OEM question "does the verdict survive a platform
+// respin / a pessimistic re-characterisation?" without touching silicon.
+type Perturbation struct {
+	// Name labels the variant in SweepPoint.Perturbation; the base
+	// (identity) perturbation has the empty name.
+	Name string
+	// Apply maps the base table to the variant. A nil Apply is the
+	// identity.
+	Apply func(platform.LatencyTable) platform.LatencyTable
+}
 
-		for _, lv := range workload.Levels {
-			_, contR, err := sizeContender(lat, sc, lv, appR)
-			if err != nil {
-				return nil, err
+// apply resolves the nil-is-identity convention.
+func (p Perturbation) apply(lat platform.LatencyTable) platform.LatencyTable {
+	if p.Apply == nil {
+		return lat
+	}
+	return p.Apply(lat)
+}
+
+// ScaleLatencies returns a perturbation that scales every legal latency
+// figure by num/den (rounding down, floored at 1 cycle), preserving the
+// table invariants Min <= Max and Stall <= Max.
+func ScaleLatencies(name string, num, den int64) Perturbation {
+	return Perturbation{Name: name, Apply: func(lat platform.LatencyTable) platform.LatencyTable {
+		scale := func(v int64) int64 {
+			if v = v * num / den; v < 1 {
+				return 1
 			}
-			in := core.Input{A: appR, B: []dsu.Readings{contR}, Lat: &lat, Scenario: coreScenario(sc)}
-			ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
-			if err != nil {
-				return nil, err
+			return v
+		}
+		for _, to := range platform.AccessPairs() {
+			l := lat[to.Target][to.Op]
+			l.Max, l.Min, l.Stall = scale(l.Max), scale(l.Min), scale(l.Stall)
+			if l.Min > l.Max {
+				l.Min = l.Max
 			}
-			ftcE, err := core.FTC(in)
-			if err != nil {
-				return nil, err
+			if l.Stall > l.Max {
+				l.Stall = l.Max
 			}
-			points = append(points, SweepPoint{
-				Scenario:        sc,
-				Level:           lv,
-				IsolationCycles: appR.CCNT,
-				ILP:             ilpE,
-				FTC:             ftcE,
-			})
+			lat[to.Target][to.Op] = l
+		}
+		return lat
+	}}
+}
+
+// Grid configures a multi-dimensional design-space sweep: every
+// combination of deployment scenario, contender load and latency-table
+// perturbation becomes one engine cell. Zero-valued dimensions default to
+// the paper's evaluation grid (both scenarios, all three loads, the
+// unperturbed table, AppIterations iterations).
+type Grid struct {
+	Scenarios     []workload.Scenario
+	Levels        []workload.Level
+	Perturbations []Perturbation
+	AppIterations int
+}
+
+// withDefaults fills unset dimensions with the paper's grid.
+func (g Grid) withDefaults() Grid {
+	if len(g.Scenarios) == 0 {
+		g.Scenarios = []workload.Scenario{workload.Scenario1, workload.Scenario2}
+	}
+	if len(g.Levels) == 0 {
+		g.Levels = workload.Levels
+	}
+	if len(g.Perturbations) == 0 {
+		g.Perturbations = []Perturbation{{}}
+	}
+	if g.AppIterations <= 0 {
+		g.AppIterations = AppIterations
+	}
+	return g
+}
+
+// Size is the number of cells in the grid.
+func (g Grid) Size() int {
+	g = g.withDefaults()
+	return len(g.Scenarios) * len(g.Levels) * len(g.Perturbations)
+}
+
+// Sweep explores every (deployment scenario, contender load) combination
+// for the control-loop application on the default runner — the
+// pre-integration exploration workflow §4.2 advertises ("a powerful and
+// reactive method for OEM and SWPs to explore and evaluate different
+// scheduling allocations and deployment scenarios ... before actual
+// integration"). All numbers come from isolation measurements only;
+// nothing is co-scheduled.
+func Sweep(lat platform.LatencyTable, appIterations int) ([]SweepPoint, error) {
+	// Grid treats a non-positive iteration count as "use the default";
+	// this wrapper keeps its historical contract of rejecting it instead.
+	if appIterations <= 0 {
+		return nil, fmt.Errorf("experiments: app iterations must be positive, got %d", appIterations)
+	}
+	return defaultRunner.Sweep(context.Background(), lat, Grid{AppIterations: appIterations})
+}
+
+// Sweep runs the configured grid: one engine cell per (perturbation,
+// scenario, level) combination, in stable grid order (perturbations
+// outermost, levels innermost). Cells of the same (perturbation,
+// scenario) share the application's isolation baseline through the
+// engine's memo cache instead of re-simulating it.
+func (r Runner) Sweep(ctx context.Context, lat platform.LatencyTable, grid Grid) ([]SweepPoint, error) {
+	grid = grid.withDefaults()
+	var jobs []campaign.Job[SweepPoint]
+	for _, pert := range grid.Perturbations {
+		lat := pert.apply(lat)
+		for _, sc := range grid.Scenarios {
+			for _, lv := range grid.Levels {
+				jobs = append(jobs, func(ctx context.Context) (SweepPoint, error) {
+					p, err := r.sweepCell(ctx, lat, sc, lv, grid.AppIterations)
+					if err != nil {
+						return SweepPoint{}, fmt.Errorf("experiments: sweep %q scenario %d %s: %w", pert.Name, sc, lv, err)
+					}
+					p.Perturbation = pert.Name
+					return p, nil
+				})
+			}
 		}
 	}
-	return points, nil
+	return campaign.Collect(ctx, r.eng, jobs)
+}
+
+// sweepCell evaluates one grid cell from isolation measurements only.
+func (r Runner) sweepCell(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario, lv workload.Level, appIterations int) (SweepPoint, error) {
+	appR, err := r.appIsolation(ctx, lat, sc, appIterations)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	contR, err := r.contenderReadings(ctx, lat, sc, lv, contenderBursts(lat, lv, appR))
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	in := core.Input{A: appR, B: []dsu.Readings{contR}, Lat: &lat, Scenario: coreScenario(sc)}
+	ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	ftcE, err := core.FTC(in)
+	if err != nil {
+		return SweepPoint{}, err
+	}
+	return SweepPoint{
+		Scenario:        sc,
+		Level:           lv,
+		IsolationCycles: appR.CCNT,
+		ILP:             ilpE,
+		FTC:             ftcE,
+	}, nil
 }
