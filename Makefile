@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt lint
+.PHONY: all build test race bench fmt lint serve-smoke
 
 all: build lint test
 
@@ -21,6 +21,11 @@ bench:
 
 fmt:
 	gofmt -w .
+
+# serve-smoke = start wcetd, POST a single and a batch request, assert
+# 200 + expected fields, SIGTERM, assert clean shutdown.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # lint = vet + gofmt diff check (fails if any file needs formatting).
 lint:

@@ -10,8 +10,12 @@
 package repro
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/campaign"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/dsu"
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/service"
 	"repro/internal/sim"
 	"repro/internal/tricore"
 	"repro/internal/workload"
@@ -378,4 +383,56 @@ func BenchmarkEvaluationCampaign(b *testing.B) {
 	}
 	b.ReportMetric(float64(stats.SimRuns), "sim_runs")
 	b.ReportMetric(float64(stats.IsolationHits), "memo_hits")
+}
+
+// BenchmarkWCETServiceBatch drives the wcetd serving layer end to end:
+// concurrent 16-request batches, drawn from a small pool of distinct
+// queries, against one server — the OEM integration stream the service
+// subsystem exists for. Reports sustained items/sec and the
+// canonical-request cache hit rate (duplicate submissions must be served
+// without re-solving the ILP).
+func BenchmarkWCETServiceBatch(b *testing.B) {
+	srv := service.New(service.Config{MaxInFlight: 256, QueueDepth: 1024}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	batch := service.BatchRequest{}
+	for j := 0; j < 16; j++ {
+		batch.Requests = append(batch.Requests, service.Request{
+			Scenario: 1,
+			Analysed: dsu.Readings{CCNT: 157800 + int64(j%8)*1000, PS: 18000, DS: 27000, PM: 3000},
+			Contenders: []dsu.Readings{
+				{CCNT: 500000, PS: 50000, DS: 60000, PM: 8000},
+			},
+		})
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			resp, err := http.Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+
+	st := srv.StatsSnapshot()
+	if st.BatchItems > 0 {
+		b.ReportMetric(float64(st.BatchItems)/b.Elapsed().Seconds(), "items/s")
+	}
+	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
+		b.ReportMetric(float64(st.Cache.Hits)/float64(lookups), "hit_rate")
+	}
 }

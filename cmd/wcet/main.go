@@ -12,43 +12,22 @@
 //	}
 //
 // Output is JSON on stdout with both estimates. Exit status 1 on invalid
-// input.
+// input. An optional "rta" object adds a schedulability verdict; see
+// internal/service for the full request schema.
+//
+// The request/response types, validation, evaluation and encoding are
+// internal/service's — the same code path cmd/wcetd serves over HTTP, so
+// for the same input both emit byte-identical JSON.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"repro/internal/core"
-	"repro/internal/dsu"
-	"repro/internal/platform"
+	"repro/internal/service"
 )
-
-type request struct {
-	Scenario   int            `json:"scenario"`
-	Analysed   dsu.Readings   `json:"analysed"`
-	Contenders []dsu.Readings `json:"contenders"`
-	// StallMode is "budget" (default) or "exact".
-	StallMode string `json:"stallMode,omitempty"`
-	// DropContenderInfo computes the fully time-composable ILP variant.
-	DropContenderInfo bool `json:"dropContenderInfo,omitempty"`
-}
-
-type estimateOut struct {
-	Model            string  `json:"model"`
-	IsolationCycles  int64   `json:"isolationCycles"`
-	ContentionCycles int64   `json:"contentionCycles"`
-	WCETCycles       int64   `json:"wcetCycles"`
-	Ratio            float64 `json:"ratio"`
-}
-
-type response struct {
-	FTC estimateOut `json:"ftc"`
-	ILP estimateOut `json:"ilpPtac"`
-}
 
 func main() {
 	inPath := flag.String("in", "", "read the request from this file instead of stdin")
@@ -63,61 +42,8 @@ func main() {
 		defer f.Close()
 		rd = f
 	}
-	var req request
-	dec := json.NewDecoder(rd)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		fail(fmt.Errorf("parsing request: %w", err))
-	}
-
-	lat := platform.TC27xLatencies()
-	var sc core.Scenario
-	switch req.Scenario {
-	case 1:
-		sc = core.Scenario1()
-	case 2:
-		sc = core.Scenario2()
-	default:
-		fail(fmt.Errorf("scenario must be 1 or 2, got %d", req.Scenario))
-	}
-	var mode core.StallMode
-	switch req.StallMode {
-	case "", "budget":
-		mode = core.StallBudget
-	case "exact":
-		mode = core.StallExact
-	default:
-		fail(fmt.Errorf("stallMode must be budget or exact, got %q", req.StallMode))
-	}
-
-	in := core.Input{A: req.Analysed, B: req.Contenders, Lat: &lat, Scenario: sc}
-	ftcE, err := core.FTC(in)
-	if err != nil {
+	if err := service.RunCLI(rd, os.Stdout); err != nil {
 		fail(err)
-	}
-	ilpE, err := core.ILPPTAC(in, core.PTACOptions{
-		StallMode:         mode,
-		DropContenderInfo: req.DropContenderInfo,
-	})
-	if err != nil {
-		fail(err)
-	}
-
-	out := response{FTC: toOut(ftcE), ILP: toOut(ilpE)}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
-		fail(err)
-	}
-}
-
-func toOut(e core.Estimate) estimateOut {
-	return estimateOut{
-		Model:            e.Model,
-		IsolationCycles:  e.IsolationCycles,
-		ContentionCycles: e.ContentionCycles,
-		WCETCycles:       e.WCET(),
-		Ratio:            e.Ratio(),
 	}
 }
 

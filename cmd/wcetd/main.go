@@ -1,0 +1,92 @@
+// Command wcetd serves contention-aware WCET analysis over HTTP/JSON —
+// the integration workflow at OEM scale: many software providers submit
+// DSU readings for their tasks and read back fTC and ILP-PTAC bounds
+// (optionally with an RTA schedulability verdict), concurrently.
+//
+// Endpoints:
+//
+//	POST /v1/wcet   one request (the cmd/wcet wire format); the response
+//	                body is byte-identical to cmd/wcet's stdout for the
+//	                same input
+//	POST /v1/batch  {"requests": [...]}: fans out across the campaign
+//	                worker pool, results in request order
+//	GET  /v1/stats  admission-control and cache counters
+//	GET  /healthz   liveness
+//
+// Identical requests are served from a canonical-request LRU cache, so
+// repeat submissions cost zero solver time. Admission control bounds
+// concurrent work (-max-inflight), queues a bounded overflow (-queue),
+// and times requests out (-timeout). SIGINT/SIGTERM drain gracefully.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "batch worker-pool width (0 = GOMAXPROCS)")
+	cacheEntries := flag.Int("cache", 1024, "canonical-request cache capacity (entries)")
+	maxInFlight := flag.Int("max-inflight", 64, "admission-control concurrency limit")
+	queueDepth := flag.Int("queue", 256, "admission queue depth beyond the concurrency limit")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (queue wait included)")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+	maxBatch := flag.Int("max-batch", 4096, "maximum requests per batch")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
+		MaxInFlight:    *maxInFlight,
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+		MaxBatchItems:  *maxBatch,
+	}, nil)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "wcetd: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// Serve only returns on listener failure (Shutdown yields
+		// ErrServerClosed, but only after we ask for it below).
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "wcetd: draining")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		fail(fmt.Errorf("shutdown: %w", err))
+	}
+	if err := <-errc; err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "wcetd: shut down cleanly")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wcetd:", err)
+	os.Exit(1)
+}

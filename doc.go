@@ -16,6 +16,10 @@
 // parallel campaign is byte-identical to a serial one. The drivers in
 // internal/experiments (Table 2 calibration, Table 6 readings, Figure 4,
 // the multi-dimensional OEM design-space sweep) all go through it.
+// internal/service is the serving layer over the models: the
+// request/response API shared by the cmd/wcet CLI and the cmd/wcetd
+// HTTP daemon, canonical-request result caching, and admission control,
+// with batch requests fanned out across the campaign engine's pool.
 // Executables live under cmd/, runnable walkthroughs under examples/, and
 // the benchmark harness regenerating every table and figure of the paper's
 // evaluation is bench_test.go in this directory.

@@ -1,0 +1,123 @@
+// Service walkthrough: the OEM integration stream the paper motivates,
+// end to end over HTTP — a software provider submits a batch of
+// debug-counter readings for its task portfolio to a running wcetd, reads
+// back fTC and ILP-PTAC bounds plus an RTA schedulability verdict, and a
+// second identical submission is answered from the canonical-request
+// cache without re-solving anything (watch the hit counter move).
+//
+// The daemon here is started in-process for a self-contained example; in
+// production it is `go run ./cmd/wcetd -addr :8080` and the HTTP calls
+// are identical.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/dsu"
+	"repro/internal/service"
+)
+
+func main() {
+	// Step 0 — an OEM operator starts the analysis service.
+	srv := service.New(service.Config{}, nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("wcetd serving on", base)
+
+	// Step 1 — a provider has measured its tasks in isolation on the
+	// TC27x (or ran them through internal/sim) and holds DSU readings.
+	// It submits the whole portfolio as one batch. The first task also
+	// asks for a schedulability verdict on its target core, using the
+	// ILP-PTAC bound as its WCET next to an already-integrated 50k-cycle
+	// control task.
+	contender := dsu.Readings{CCNT: 500000, PS: 50000, DS: 60000, PM: 8000}
+	batch := service.BatchRequest{Requests: []service.Request{
+		{
+			Scenario:   1,
+			Analysed:   dsu.Readings{CCNT: 157800, PS: 18000, DS: 27000, PM: 3000},
+			Contenders: []dsu.Readings{contender},
+			RTA: &service.RTARequest{
+				Task: service.RTATask{Name: "airbagCtl", PeriodCycles: 2_000_000, Priority: 2},
+				Others: []service.RTATask{
+					{Name: "cruiseCtl", WCETCycles: 50_000, PeriodCycles: 500_000, Priority: 1},
+				},
+			},
+		},
+		{
+			Scenario:   1,
+			Analysed:   dsu.Readings{CCNT: 301000, PS: 40000, DS: 51000, PM: 6100},
+			Contenders: []dsu.Readings{contender},
+		},
+	}}
+
+	results := submit(base, batch)
+	for i, item := range results.Results {
+		if item.Error != "" {
+			log.Fatalf("task %d rejected: %s", i, item.Error)
+		}
+		r := item.Response
+		fmt.Printf("task %d: isolation %d cycles, fTC wcet %d (x%.2f), ILP-PTAC wcet %d (x%.2f)\n",
+			i, r.FTC.IsolationCycles, r.FTC.WCETCycles, r.FTC.Ratio, r.ILP.WCETCycles, r.ILP.Ratio)
+		if r.RTA != nil {
+			fmt.Printf("task %d: RTA with %s WCET %d: utilization %.2f, schedulable=%t\n",
+				i, r.RTA.Model, r.RTA.WCETCycles, r.RTA.Utilization, r.RTA.Schedulable)
+		}
+	}
+
+	// Step 2 — the provider re-runs its integration pipeline; the
+	// identical submission costs zero solver time.
+	submit(base, batch)
+	var stats service.Stats
+	getJSON(base+"/v1/stats", &stats)
+	fmt.Printf("after resubmission: cache hits=%d misses=%d (batch items served: %d)\n",
+		stats.Cache.Hits, stats.Cache.Misses, stats.BatchItems)
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func submit(base string, batch service.BatchRequest) service.BatchResponse {
+	body, err := json.Marshal(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("batch rejected: %s", resp.Status)
+	}
+	var out service.BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	return out
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -37,6 +37,16 @@ import (
 type Engine struct {
 	workers int
 
+	// slots is an engine-level semaphore shared by every campaign on this
+	// engine: a worker may run a job only while holding a slot. A single
+	// campaign is unaffected (it spawns at most `workers` workers, each
+	// holding at most one slot), but concurrent campaigns — the serving
+	// layer fans every batch request out as its own campaign — share the
+	// one bounded pool instead of multiplying it. Jobs must not schedule
+	// new campaigns on the same engine: with every slot held by their
+	// parents, the nested campaign would deadlock.
+	slots chan struct{}
+
 	mu  sync.Mutex
 	iso map[isoKey]*isoEntry
 
@@ -51,7 +61,11 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, iso: make(map[isoKey]*isoEntry)}
+	return &Engine{
+		workers: workers,
+		slots:   make(chan struct{}, workers),
+		iso:     make(map[isoKey]*isoEntry),
+	}
 }
 
 // Workers reports the pool width.
@@ -115,8 +129,16 @@ func All[T any](ctx context.Context, e *Engine, jobs []Job[T]) []Outcome[T] {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				select {
+				case e.slots <- struct{}{}:
+				case <-ctx.Done():
+					// Leave the slot's outcome as not-run; it picks up the
+					// context error after the pool drains.
+					continue
+				}
 				v, err := jobs[i](ctx)
 				outcomes[i] = Outcome[T]{Value: v, Err: err}
+				<-e.slots
 			}
 		}()
 	}

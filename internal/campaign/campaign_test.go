@@ -294,3 +294,51 @@ func TestEngineParallelRuns(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentCampaignsShareSlots launches many campaigns concurrently on
+// one engine and asserts the engine-level slot semaphore bounds the number
+// of simultaneously running jobs to the pool width, no matter how many
+// campaigns are in flight — the request-driven regime the serving layer
+// puts the engine in.
+func TestConcurrentCampaignsShareSlots(t *testing.T) {
+	const workers = 3
+	const campaigns = 8
+	const jobsPer = 6
+	e := New(workers)
+
+	var running, peak atomic.Int64
+	job := func(ctx context.Context) (int, error) {
+		now := running.Add(1)
+		for {
+			old := peak.Load()
+			if now <= old || peak.CompareAndSwap(old, now) {
+				break
+			}
+		}
+		runtime.Gosched()
+		running.Add(-1)
+		return 0, nil
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < campaigns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jobs := make([]Job[int], jobsPer)
+			for i := range jobs {
+				jobs[i] = job
+			}
+			for _, o := range All(context.Background(), e, jobs) {
+				if o.Err != nil {
+					t.Errorf("job failed: %v", o.Err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := peak.Load(); got > workers {
+		t.Fatalf("peak concurrent jobs %d exceeds pool width %d", got, workers)
+	}
+}

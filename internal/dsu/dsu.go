@@ -115,14 +115,47 @@ type Readings struct {
 	DMD int64
 }
 
-// Validate rejects obviously impossible readings (negative counts, stalls
-// exceeding total cycles).
+// Validate rejects obviously impossible readings: negative counts, stall
+// cycles exceeding total cycles, and event counts that cannot fit in the
+// observed execution time (every cache miss costs at least one cycle, so
+// no miss counter can exceed CCNT).
 func (r Readings) Validate() error {
-	if r.CCNT < 0 || r.PS < 0 || r.DS < 0 || r.PM < 0 || r.DMC < 0 || r.DMD < 0 {
-		return fmt.Errorf("dsu: negative counter in %+v", r)
+	for _, c := range [...]struct {
+		name string
+		v    int64
+	}{
+		{"CCNT", r.CCNT}, {"PS", r.PS}, {"DS", r.DS},
+		{"PM", r.PM}, {"DMC", r.DMC}, {"DMD", r.DMD},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("dsu: negative %s counter %d in %v", c.name, c.v, r)
+		}
 	}
-	if r.CCNT > 0 && r.PS+r.DS > r.CCNT {
+	if r.CCNT == 0 {
+		return nil
+	}
+	if r.PS > r.CCNT {
+		return fmt.Errorf("dsu: PMEM_STALL %d exceeds CCNT %d", r.PS, r.CCNT)
+	}
+	if r.DS > r.CCNT {
+		return fmt.Errorf("dsu: DMEM_STALL %d exceeds CCNT %d", r.DS, r.CCNT)
+	}
+	if r.PS+r.DS > r.CCNT {
 		return fmt.Errorf("dsu: stall cycles %d+%d exceed CCNT %d", r.PS, r.DS, r.CCNT)
+	}
+	if r.PM > r.CCNT {
+		return fmt.Errorf("dsu: PCACHE_MISS %d exceeds CCNT %d", r.PM, r.CCNT)
+	}
+	// Individual bounds before the sum: with both addends <= CCNT the sum
+	// cannot overflow int64.
+	if r.DMC > r.CCNT {
+		return fmt.Errorf("dsu: DCACHE_MISS_CLEAN %d exceeds CCNT %d", r.DMC, r.CCNT)
+	}
+	if r.DMD > r.CCNT {
+		return fmt.Errorf("dsu: DCACHE_MISS_DIRTY %d exceeds CCNT %d", r.DMD, r.CCNT)
+	}
+	if r.DMC+r.DMD > r.CCNT {
+		return fmt.Errorf("dsu: data-cache misses %d+%d exceed CCNT %d", r.DMC, r.DMD, r.CCNT)
 	}
 	return nil
 }

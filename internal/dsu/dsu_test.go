@@ -87,10 +87,30 @@ func TestReadingsValidate(t *testing.T) {
 	if err := sc1core1.Validate(); err != nil {
 		t.Errorf("Table 6 style readings rejected: %v", err)
 	}
+	// A zero CCNT disables the cross-counter plausibility checks (deltas
+	// of a free-running bank may legitimately have CCNT = 0 only when
+	// everything else is zero too, but calibration code snapshots partial
+	// banks).
+	if err := (Readings{PM: 3}).Validate(); err != nil {
+		t.Errorf("partial readings with CCNT=0 rejected: %v", err)
+	}
 	bad := []Readings{
 		{CCNT: -1},
 		{PS: -5},
-		{CCNT: 10, PS: 8, DS: 5}, // stalls exceed cycles
+		{DS: -1},
+		{PM: -2},
+		{DMC: -3},
+		{DMD: -4},
+		{CCNT: 10, PS: 8, DS: 5},   // combined stalls exceed cycles
+		{CCNT: 10, PS: 11},         // PMEM_STALL alone exceeds cycles
+		{CCNT: 10, DS: 12},         // DMEM_STALL alone exceeds cycles
+		{CCNT: 10, PM: 11},         // more I-cache misses than cycles
+		{CCNT: 10, DMC: 6, DMD: 5}, // more D-cache misses than cycles
+		{CCNT: 10, DMC: 11},        // clean misses alone exceed cycles
+		{CCNT: 10, DMD: 12},        // dirty misses alone exceed cycles
+		// Each addend short of overflowing alone; the sum would wrap
+		// negative if summed unchecked.
+		{CCNT: 10, DMC: 1 << 62, DMD: 1 << 62},
 	}
 	for _, r := range bad {
 		if err := r.Validate(); err == nil {

@@ -1,0 +1,335 @@
+// Package service is the serving layer over the paper's contention
+// models: the request/response API shared by the cmd/wcet CLI and the
+// cmd/wcetd daemon, request canonicalization and content-addressed result
+// caching, and an HTTP server with admission control that fans batch
+// requests out across the campaign engine's worker pool.
+//
+// The industrial workflow the paper motivates — an OEM integrating tasks
+// from many software providers, each needing contention-aware WCET
+// verdicts from DSU readings — is a query stream, not a one-shot
+// computation. This package turns the models into a service for that
+// stream while guaranteeing the daemon and the CLI can never drift: both
+// decode requests with DecodeRequest, evaluate them with Evaluate, and
+// encode responses with EncodeJSON, so for the same input they emit
+// byte-identical JSON (asserted by tests).
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dsu"
+	"repro/internal/platform"
+	"repro/internal/rta"
+)
+
+// Request is one WCET-analysis query: the scenario the deployment is
+// configured under, the analysed task's isolation readings, and the
+// readings of its future contenders. It is the wire format of the
+// cmd/wcet CLI, of wcetd's single-estimate endpoint, and of each element
+// of wcetd's batch endpoint.
+type Request struct {
+	Scenario   int            `json:"scenario"`
+	Analysed   dsu.Readings   `json:"analysed"`
+	Contenders []dsu.Readings `json:"contenders"`
+	// StallMode is "budget" (default) or "exact".
+	StallMode string `json:"stallMode,omitempty"`
+	// DropContenderInfo computes the fully time-composable ILP variant.
+	DropContenderInfo bool `json:"dropContenderInfo,omitempty"`
+	// RTA, when present, additionally requests a fixed-priority
+	// response-time-analysis verdict for the analysed task among the
+	// given co-resident tasks, using one of the computed WCET bounds.
+	RTA *RTARequest `json:"rta,omitempty"`
+}
+
+// RTATask describes one periodic task for the RTA step. For the analysed
+// task WCETCycles is ignored — it is filled in from the selected model's
+// bound; co-resident tasks must state theirs.
+type RTATask struct {
+	Name           string `json:"name"`
+	WCETCycles     int64  `json:"wcetCycles,omitempty"`
+	PeriodCycles   int64  `json:"periodCycles"`
+	DeadlineCycles int64  `json:"deadlineCycles,omitempty"`
+	Priority       int    `json:"priority"`
+}
+
+// RTARequest asks for a schedulability verdict on the analysed task's
+// core.
+type RTARequest struct {
+	// Model selects which bound becomes the analysed task's WCET:
+	// "ilpPtac" (default — the paper's tighter, partially
+	// time-composable bound) or "ftc".
+	Model string `json:"model,omitempty"`
+	// Task is the analysed task's timing parameters; its WCETCycles is
+	// filled from the selected model.
+	Task RTATask `json:"task"`
+	// Others are the co-resident tasks on the same core, with their own
+	// (already contention-aware) WCETs.
+	Others []RTATask `json:"others,omitempty"`
+}
+
+// EstimateOut is one model's bound in wire form.
+type EstimateOut struct {
+	Model            string  `json:"model"`
+	IsolationCycles  int64   `json:"isolationCycles"`
+	ContentionCycles int64   `json:"contentionCycles"`
+	WCETCycles       int64   `json:"wcetCycles"`
+	Ratio            float64 `json:"ratio"`
+}
+
+// RTAResultOut is one task's response-time-analysis outcome in wire form.
+type RTAResultOut struct {
+	Task           string `json:"task"`
+	ResponseCycles int64  `json:"responseCycles"`
+	Schedulable    bool   `json:"schedulable"`
+}
+
+// RTAOut is the schedulability verdict for the analysed task's core.
+type RTAOut struct {
+	// Model names the bound used as the analysed task's WCET.
+	Model string `json:"model"`
+	// WCETCycles is that bound's value.
+	WCETCycles int64 `json:"wcetCycles"`
+	// Utilization is Σ C_i / T_i over the whole task set.
+	Utilization float64 `json:"utilization"`
+	// Schedulable reports whether every task meets its deadline.
+	Schedulable bool           `json:"schedulable"`
+	Results     []RTAResultOut `json:"results"`
+}
+
+// Response is the analysis result: both bounds, plus the RTA verdict when
+// one was requested.
+type Response struct {
+	FTC EstimateOut `json:"ftc"`
+	ILP EstimateOut `json:"ilpPtac"`
+	RTA *RTAOut     `json:"rta,omitempty"`
+}
+
+// Validate rejects malformed requests before any model runs: unknown
+// scenarios and stall modes, impossible DSU readings (negative counters,
+// stalls or miss counts exceeding CCNT), and nonsensical RTA parameters.
+func (r Request) Validate() error {
+	// Delegate to the same mappers Evaluate uses, so the accepted value
+	// sets cannot drift from what evaluation understands.
+	if _, err := scenario(r.Scenario); err != nil {
+		return err
+	}
+	if _, err := stallMode(r.StallMode); err != nil {
+		return err
+	}
+	if err := r.Analysed.Validate(); err != nil {
+		return fmt.Errorf("analysed readings: %w", err)
+	}
+	for i, b := range r.Contenders {
+		if err := b.Validate(); err != nil {
+			return fmt.Errorf("contender %d readings: %w", i, err)
+		}
+	}
+	if r.RTA != nil {
+		if _, err := rtaModel(r.RTA.Model); err != nil {
+			return err
+		}
+		// Full task validation (periods, deadlines) happens in rta.Analyze
+		// once the analysed WCET is known; here we only catch what cannot
+		// depend on it.
+		for i, o := range r.RTA.Others {
+			if o.WCETCycles <= 0 {
+				return fmt.Errorf("rta.others[%d] (%s): wcetCycles must be positive", i, o.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeStrict is the one decode policy for every payload shape the
+// service accepts: unknown fields rejected, uniform error wrapping.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parsing request: %w", err)
+	}
+	return nil
+}
+
+// DecodeRequest reads one JSON request, rejecting unknown fields — the
+// CLI's historical strictness, now shared with the daemon.
+func DecodeRequest(r io.Reader) (Request, error) {
+	var req Request
+	if err := decodeStrict(r, &req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// EncodeJSON writes v exactly as the cmd/wcet CLI always has: two-space
+// indent, trailing newline. Byte-identical CLI/daemon output depends on
+// every producer funnelling through here.
+func EncodeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// scenario maps the wire scenario number to the core tailoring.
+func scenario(n int) (core.Scenario, error) {
+	switch n {
+	case 1:
+		return core.Scenario1(), nil
+	case 2:
+		return core.Scenario2(), nil
+	default:
+		return core.Scenario{}, fmt.Errorf("scenario must be 1 or 2, got %d", n)
+	}
+}
+
+// stallMode maps the wire stall-mode string to the ILP option.
+func stallMode(s string) (core.StallMode, error) {
+	switch s {
+	case "", "budget":
+		return core.StallBudget, nil
+	case "exact":
+		return core.StallExact, nil
+	default:
+		return 0, fmt.Errorf("stallMode must be budget or exact, got %q", s)
+	}
+}
+
+// rtaModel normalizes the wire RTA model selector.
+func rtaModel(s string) (string, error) {
+	switch s {
+	case "", "ilpPtac":
+		return "ilpPtac", nil
+	case "ftc":
+		return "ftc", nil
+	default:
+		return "", fmt.Errorf("rta.model must be ilpPtac or ftc, got %q", s)
+	}
+}
+
+// Evaluate runs the fTC and ILP-PTAC models (and the optional RTA step)
+// on one request. It is a pure function of the request: the CLI calls it
+// once per process, the daemon calls it per cache miss.
+func Evaluate(req Request) (*Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	sc, err := scenario(req.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := stallMode(req.StallMode)
+	if err != nil {
+		return nil, err
+	}
+	lat := platform.TC27xLatencies()
+
+	in := core.Input{A: req.Analysed, B: req.Contenders, Lat: &lat, Scenario: sc}
+	ftcE, err := core.FTC(in)
+	if err != nil {
+		return nil, err
+	}
+	ilpE, err := core.ILPPTAC(in, core.PTACOptions{
+		StallMode:         mode,
+		DropContenderInfo: req.DropContenderInfo,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &Response{FTC: toEstimateOut(ftcE), ILP: toEstimateOut(ilpE)}
+	if req.RTA != nil {
+		verdict, err := analyzeRTA(*req.RTA, resp)
+		if err != nil {
+			return nil, err
+		}
+		resp.RTA = verdict
+	}
+	return resp, nil
+}
+
+// analyzeRTA runs response-time analysis with the analysed task's WCET
+// taken from the selected model's bound.
+func analyzeRTA(req RTARequest, resp *Response) (*RTAOut, error) {
+	model, err := rtaModel(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	wcet := resp.ILP.WCETCycles
+	if model == "ftc" {
+		wcet = resp.FTC.WCETCycles
+	}
+
+	analysed := req.Task
+	if analysed.Name == "" {
+		analysed.Name = "analysed"
+	}
+	tasks := make([]rta.Task, 0, 1+len(req.Others))
+	tasks = append(tasks, rta.Task{
+		Name:     analysed.Name,
+		WCET:     wcet,
+		Period:   analysed.PeriodCycles,
+		Deadline: analysed.DeadlineCycles,
+		Priority: analysed.Priority,
+	})
+	for _, o := range req.Others {
+		tasks = append(tasks, rta.Task{
+			Name:     o.Name,
+			WCET:     o.WCETCycles,
+			Period:   o.PeriodCycles,
+			Deadline: o.DeadlineCycles,
+			Priority: o.Priority,
+		})
+	}
+	results, err := rta.Analyze(tasks)
+	if err != nil {
+		return nil, fmt.Errorf("rta: %w", err)
+	}
+
+	out := &RTAOut{
+		Model:       model,
+		WCETCycles:  wcet,
+		Utilization: rta.Utilization(tasks),
+		Schedulable: true,
+		Results:     make([]RTAResultOut, len(results)),
+	}
+	for i, r := range results {
+		out.Results[i] = RTAResultOut{
+			Task:           r.Task,
+			ResponseCycles: r.Response,
+			Schedulable:    r.Schedulable,
+		}
+		if !r.Schedulable {
+			out.Schedulable = false
+		}
+	}
+	return out, nil
+}
+
+func toEstimateOut(e core.Estimate) EstimateOut {
+	return EstimateOut{
+		Model:            e.Model,
+		IsolationCycles:  e.IsolationCycles,
+		ContentionCycles: e.ContentionCycles,
+		WCETCycles:       e.WCET(),
+		Ratio:            e.Ratio(),
+	}
+}
+
+// RunCLI is cmd/wcet's whole behaviour: decode one request from in,
+// evaluate it, write the response to out. The daemon serves the same
+// three calls per request, which is what keeps the two front-ends
+// byte-identical.
+func RunCLI(in io.Reader, out io.Writer) error {
+	req, err := DecodeRequest(in)
+	if err != nil {
+		return err
+	}
+	resp, err := Evaluate(req)
+	if err != nil {
+		return err
+	}
+	return EncodeJSON(out, resp)
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dsu"
+)
+
+// CanonicalKey content-addresses a request: two requests get the same key
+// iff the models are guaranteed to produce the same response for both.
+// Defaults are normalized (stallMode "" ≡ "budget", rta.model "" ≡
+// "ilpPtac", an unnamed rta task ≡ "analysed") and contender order is
+// canonicalized — both models are permutation-invariant in the contender
+// set (fTC uses only its cardinality; the ILP objective sums symmetric
+// per-contender terms), so provider submissions that list the same
+// co-runners in a different order hit the same cache entry.
+//
+// The key is a SHA-256 over an unambiguous field-tagged rendering, so
+// adjacent numeric fields cannot alias and arbitrarily large requests
+// address a fixed-size key.
+func CanonicalKey(req Request) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v1;sc=%d;mode=%s;drop=%t;a=%s", req.Scenario, canonStallMode(req.StallMode), req.DropContenderInfo, canonReadings(req.Analysed))
+
+	cs := make([]string, len(req.Contenders))
+	for i, c := range req.Contenders {
+		cs[i] = canonReadings(c)
+	}
+	sort.Strings(cs)
+	b.WriteString(";b=")
+	b.WriteString(strings.Join(cs, "|"))
+
+	if req.RTA != nil {
+		model := req.RTA.Model
+		if model == "" {
+			model = "ilpPtac"
+		}
+		task := req.RTA.Task
+		if task.Name == "" {
+			task.Name = "analysed"
+		}
+		// The analysed task's WCETCycles is an output, not an input:
+		// exclude it so requests differing only there still collide.
+		fmt.Fprintf(&b, ";rta=%s;t=%s", model, canonRTATask(task, false))
+		// Priority ties break by declaration order, so co-resident task
+		// order is semantic — keep it.
+		for _, o := range req.RTA.Others {
+			b.WriteString(";o=")
+			b.WriteString(canonRTATask(o, true))
+		}
+	}
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+func canonStallMode(s string) string {
+	if s == "" {
+		return "budget"
+	}
+	return s
+}
+
+func canonReadings(r dsu.Readings) string {
+	return fmt.Sprintf("c%d,ps%d,ds%d,pm%d,mc%d,md%d", r.CCNT, r.PS, r.DS, r.PM, r.DMC, r.DMD)
+}
+
+func canonRTATask(t RTATask, withWCET bool) string {
+	w := int64(0)
+	if withWCET {
+		w = t.WCETCycles
+	}
+	return fmt.Sprintf("%q,w%d,p%d,d%d,pr%d", t.Name, w, t.PeriodCycles, t.DeadlineCycles, t.Priority)
+}

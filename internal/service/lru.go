@@ -1,0 +1,113 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// cached is one content-addressed analysis result: the decoded response
+// (for batch items and the RTA step) plus its canonical JSON encoding
+// (what the single-estimate endpoint writes verbatim). Both are
+// immutable once stored; every cache consumer shares them read-only.
+type cached struct {
+	resp *Response
+	body []byte
+}
+
+// resultCache is a mutex-guarded LRU keyed by canonical request hash.
+// Identical provider submissions — the common case when many integration
+// runs re-check the same task set — cost one map lookup instead of an
+// ILP solve.
+type resultCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type lruEntry struct {
+	key string
+	val *cached
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached result for key, bumping its recency. The miss
+// counter is the caller-visible one: singleflight followers that piggy-
+// back on an in-flight computation are counted by the server, not here.
+func (c *resultCache) get(key string) (*cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).val, true
+}
+
+// getHit is get counting only hits: the pre-admission probe of the
+// single-estimate endpoint, where an absent entry may never be evaluated
+// (admission can still reject the request), so no miss is recorded.
+func (c *resultCache) getHit(key string) (*cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return el.Value.(*lruEntry).val, true
+}
+
+// peek is get without counter accounting (recency still bumps): the
+// post-admission re-check of a request whose miss was already counted.
+func (c *resultCache) peek(key string) (*cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put stores a result, evicting from the cold end past capacity.
+func (c *resultCache) put(key string, val *cached) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

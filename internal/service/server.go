@@ -1,0 +1,533 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Config sizes the daemon. The zero value is usable: every field has a
+// default applied by New.
+type Config struct {
+	// Workers is the campaign-engine pool width batch requests fan out
+	// across; <= 0 selects GOMAXPROCS.
+	Workers int
+	// CacheEntries caps the canonical-request result cache; <= 0 selects
+	// 1024.
+	CacheEntries int
+	// MaxInFlight is the admission-control concurrency limit: how many
+	// requests may be past admission at once; <= 0 selects 64.
+	MaxInFlight int
+	// QueueDepth is how many requests may wait for admission before new
+	// arrivals are rejected as overload; < 0 selects 256, 0 means no
+	// queue (reject as soon as MaxInFlight is reached).
+	QueueDepth int
+	// RequestTimeout bounds each request (queue wait included) via its
+	// context; <= 0 selects 30 seconds.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps a request body — decode work happens before
+	// admission control, so it must be bounded independently; <= 0
+	// selects 8 MiB.
+	MaxBodyBytes int64
+	// MaxBatchItems caps the cells of one batch request (one admission
+	// unit); <= 0 selects 4096.
+	MaxBatchItems int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 4096
+	}
+	return c
+}
+
+// BatchRequest is the wire format of POST /v1/batch: an ordered set of
+// independent analysis requests, typically one provider's whole task
+// portfolio.
+type BatchRequest struct {
+	Requests []Request `json:"requests"`
+}
+
+// BatchItem is one request's outcome within a batch: exactly one of
+// Response and Error is set. A batch never fails wholesale because one
+// cell is malformed — mirroring campaign.All's per-cell error collection.
+type BatchItem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    string    `json:"error,omitempty"`
+}
+
+// BatchResponse is the wire format of a batch reply, results in request
+// order.
+type BatchResponse struct {
+	Results []BatchItem `json:"results"`
+}
+
+// CacheStats reports the canonical-request cache counters.
+type CacheStats struct {
+	// Hits counts requests served from the LRU without touching the
+	// models.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that had to evaluate.
+	Misses int64 `json:"misses"`
+	// Dedup counts requests that piggybacked on an identical in-flight
+	// evaluation instead of starting their own (counted in Misses too).
+	Dedup     int64 `json:"dedup"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats is the GET /v1/stats payload.
+type Stats struct {
+	Workers     int `json:"workers"`
+	MaxInFlight int `json:"maxInFlight"`
+	QueueDepth  int `json:"queueDepth"`
+
+	InFlight int64 `json:"inFlight"`
+	Queued   int64 `json:"queued"`
+
+	Accepted         int64 `json:"accepted"`
+	RejectedOverload int64 `json:"rejectedOverload"`
+	Canceled         int64 `json:"canceled"`
+
+	SingleRequests int64 `json:"singleRequests"`
+	BatchRequests  int64 `json:"batchRequests"`
+	BatchItems     int64 `json:"batchItems"`
+
+	Cache CacheStats `json:"cache"`
+}
+
+// errOverloaded is the admission-control rejection.
+var errOverloaded = errors.New("service: overloaded: concurrency limit reached and queue full")
+
+// flight is one in-progress evaluation; identical concurrent requests
+// wait on done instead of solving the same ILP twice.
+type flight struct {
+	done chan struct{}
+	val  *cached
+	err  error
+}
+
+// Server serves the contention models over HTTP with admission control
+// and content-addressed caching. Construct with New; a Server is safe
+// for concurrent use.
+type Server struct {
+	cfg    Config
+	engine *campaign.Engine
+	cache  *resultCache
+
+	sem    chan struct{}
+	queued atomic.Int64
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	inFlight         atomic.Int64
+	accepted         atomic.Int64
+	rejectedOverload atomic.Int64
+	canceled         atomic.Int64
+	dedup            atomic.Int64
+	singleRequests   atomic.Int64
+	batchRequests    atomic.Int64
+	batchItems       atomic.Int64
+
+	httpSrv *http.Server
+}
+
+// New builds a server. The engine may be shared with other subsystems
+// (its slot semaphore then bounds their combined parallelism); pass nil
+// to get a private pool of cfg.Workers width.
+func New(cfg Config, engine *campaign.Engine) *Server {
+	cfg = cfg.withDefaults()
+	if engine == nil {
+		engine = campaign.New(cfg.Workers)
+	}
+	s := &Server{
+		cfg:     cfg,
+		engine:  engine,
+		cache:   newResultCache(cfg.CacheEntries),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		flights: make(map[string]*flight),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/wcet", s.handleSingle)
+	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	s.httpSrv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bodies are read (and decoded) before admission control, so a
+		// slow-trickling client must be cut off by the transport: the
+		// per-request context starts only after decode.
+		ReadTimeout: cfg.RequestTimeout,
+	}
+	return s
+}
+
+// Handler exposes the routing for tests and embedding.
+func (s *Server) Handler() http.Handler { return s.httpSrv.Handler }
+
+// Serve accepts connections on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error { return s.httpSrv.Serve(ln) }
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Shutdown gracefully drains the server: no new connections, in-flight
+// requests run to completion or to ctx's deadline.
+func (s *Server) Shutdown(ctx context.Context) error { return s.httpSrv.Shutdown(ctx) }
+
+// StatsSnapshot returns the current counters (what /v1/stats serves).
+func (s *Server) StatsSnapshot() Stats {
+	return Stats{
+		Workers:          s.engine.Workers(),
+		MaxInFlight:      s.cfg.MaxInFlight,
+		QueueDepth:       s.cfg.QueueDepth,
+		InFlight:         s.inFlight.Load(),
+		Queued:           s.queued.Load(),
+		Accepted:         s.accepted.Load(),
+		RejectedOverload: s.rejectedOverload.Load(),
+		Canceled:         s.canceled.Load(),
+		SingleRequests:   s.singleRequests.Load(),
+		BatchRequests:    s.batchRequests.Load(),
+		BatchItems:       s.batchItems.Load(),
+		Cache: CacheStats{
+			Hits:      s.cache.hits.Load(),
+			Misses:    s.cache.misses.Load(),
+			Dedup:     s.dedup.Load(),
+			Entries:   s.cache.len(),
+			Capacity:  s.cfg.CacheEntries,
+			Evictions: s.cache.evictions.Load(),
+		},
+	}
+}
+
+// admit applies admission control: immediate admission while capacity
+// remains, bounded queueing after that, rejection beyond the queue. The
+// returned release must be called exactly once when the admitted work
+// finishes.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	if err := ctx.Err(); err != nil {
+		s.canceled.Add(1)
+		return nil, err
+	}
+	admitted := false
+	select {
+	case s.sem <- struct{}{}:
+		admitted = true
+	default:
+	}
+	if !admitted {
+		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.queued.Add(-1)
+			s.rejectedOverload.Add(1)
+			return nil, errOverloaded
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			s.canceled.Add(1)
+			return nil, ctx.Err()
+		}
+	}
+	s.accepted.Add(1)
+	s.inFlight.Add(1)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			s.inFlight.Add(-1)
+			<-s.sem
+		})
+	}, nil
+}
+
+// lookupOrCompute is the one cache-accounting point per request: a
+// counting LRU lookup, then the miss path.
+func (s *Server) lookupOrCompute(ctx context.Context, key string, req Request) (*cached, error) {
+	if v, ok := s.cache.get(key); ok {
+		return v, nil
+	}
+	return s.computeMiss(ctx, key, req)
+}
+
+// computeMiss resolves a request whose miss is already counted: re-check
+// the LRU without accounting (an identical request may have landed while
+// this one queued), join an identical in-flight evaluation, or evaluate.
+// ctx bounds only the join wait: an evaluation, once started, runs to
+// completion so its result can be cached for the next asker.
+func (s *Server) computeMiss(ctx context.Context, key string, req Request) (*cached, error) {
+	if v, ok := s.cache.peek(key); ok {
+		return v, nil
+	}
+	s.flightMu.Lock()
+	if f, ok := s.flights[key]; ok {
+		s.flightMu.Unlock()
+		s.dedup.Add(1)
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+
+	f.val, f.err = evaluateEncoded(req)
+	if f.err == nil {
+		s.cache.put(key, f.val)
+	}
+	s.flightMu.Lock()
+	delete(s.flights, key)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// evaluateEncoded runs the models and freezes the response together with
+// its canonical encoding.
+func evaluateEncoded(req Request) (*cached, error) {
+	resp, err := Evaluate(req)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, resp); err != nil {
+		return nil, err
+	}
+	return &cached{resp: resp, body: buf.Bytes()}, nil
+}
+
+// requestCtx applies the per-request timeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.singleRequests.Add(1)
+	req, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	if err := req.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := CanonicalKey(req)
+
+	// Cache hits bypass admission control entirely: they cost a map
+	// lookup, and admission protects solver capacity, not the mux. The
+	// probe counts only hits — if admission rejects this request below,
+	// no evaluation was scheduled and the miss counter must not move.
+	if c, ok := s.cache.getHit(key); ok {
+		writeBody(w, c.body)
+		return
+	}
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		admissionError(w, err)
+		return
+	}
+
+	// The evaluation itself is not preemptible (the ILP solver runs to
+	// completion), so run it aside and give up at the deadline; the
+	// orphaned result still lands in the cache, and the admission slot
+	// is held until the solver actually finishes. The solve runs as a
+	// one-cell campaign so single-request misses and batch cells share
+	// the engine's bounded pool rather than racing past it.
+	type outcome struct {
+		c   *cached
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer release()
+		outs := campaign.All(ctx, s.engine, []campaign.Job[*cached]{
+			func(ctx context.Context) (*cached, error) {
+				return s.lookupOrCompute(ctx, key, req)
+			},
+		})
+		ch <- outcome{outs[0].Value, outs[0].Err}
+	}()
+	select {
+	case out := <-ch:
+		switch {
+		case out.err == nil:
+			writeBody(w, out.c.body)
+		case errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled):
+			// The deadline fired while joining an identical in-flight
+			// evaluation: a server-side timeout, not a bad request.
+			s.canceled.Add(1)
+			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request timed out: %w", out.err))
+		default:
+			httpError(w, http.StatusUnprocessableEntity, out.err)
+		}
+	case <-ctx.Done():
+		s.canceled.Add(1)
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request timed out: %w", ctx.Err()))
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.batchRequests.Add(1)
+	var batch BatchRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &batch); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatchItems {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("batch of %d requests exceeds the %d-item limit", len(batch.Requests), s.cfg.MaxBatchItems))
+		return
+	}
+	s.batchItems.Add(int64(len(batch.Requests)))
+
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	release, err := s.admit(ctx)
+	if err != nil {
+		admissionError(w, err)
+		return
+	}
+
+	// Fan the batch out across the campaign engine: each request is one
+	// independent cell, results come back in input order, and the
+	// engine-level slot semaphore bounds total parallelism across every
+	// concurrent batch.
+	jobs := make([]campaign.Job[*cached], len(batch.Requests))
+	for i := range batch.Requests {
+		req := batch.Requests[i]
+		jobs[i] = func(ctx context.Context) (*cached, error) {
+			if err := req.Validate(); err != nil {
+				return nil, err
+			}
+			return s.lookupOrCompute(ctx, CanonicalKey(req), req)
+		}
+	}
+	ch := make(chan []campaign.Outcome[*cached], 1)
+	go func() {
+		defer release()
+		ch <- campaign.All(ctx, s.engine, jobs)
+	}()
+	var outcomes []campaign.Outcome[*cached]
+	select {
+	case outcomes = <-ch:
+	case <-ctx.Done():
+		s.canceled.Add(1)
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("batch timed out: %w", ctx.Err()))
+		return
+	}
+
+	out := BatchResponse{Results: make([]BatchItem, len(outcomes))}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			out.Results[i] = BatchItem{Error: o.Err.Error()}
+		} else {
+			out.Results[i] = BatchItem{Response: o.Value.resp}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := EncodeJSON(w, out); err != nil {
+		// Headers are gone; nothing recoverable.
+		return
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = EncodeJSON(w, s.StatsSnapshot())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// decodeStatus distinguishes an over-limit body (413) from malformed
+// JSON (400).
+func decodeStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// admissionError maps admission failures to status codes: overload is
+// 429 (the client should back off and retry), cancellation/timeout while
+// queued is 503.
+func admissionError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errOverloaded) {
+		httpError(w, http.StatusTooManyRequests, err)
+		return
+	}
+	httpError(w, http.StatusServiceUnavailable, err)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = EncodeJSON(w, errorBody{Error: err.Error()})
+}
