@@ -2,8 +2,10 @@
 # runs exactly these targets' recipes.
 
 GO ?= go
+STATICCHECK ?= staticcheck
+GOVULNCHECK ?= govulncheck
 
-.PHONY: all build test race bench fmt lint serve-smoke
+.PHONY: all build test race bench fmt lint vuln serve-smoke
 
 all: build lint test
 
@@ -27,7 +29,9 @@ fmt:
 serve-smoke:
 	bash scripts/serve_smoke.sh
 
-# lint = vet + gofmt diff check (fails if any file needs formatting).
+# lint = vet + gofmt diff check (fails if any file needs formatting) +
+# staticcheck. staticcheck is skipped with a notice when the binary is not
+# on PATH (the offline dev container); CI installs it and always runs it.
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
@@ -35,4 +39,18 @@ lint:
 		echo "gofmt needed on:" >&2; \
 		echo "$$unformatted" >&2; \
 		exit 1; \
+	fi
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "lint: $(STATICCHECK) not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)" >&2; \
+	fi
+
+# vuln = known-vulnerability scan of the module and its (std-only)
+# dependency graph. Same skip policy as staticcheck.
+vuln:
+	@if command -v $(GOVULNCHECK) >/dev/null 2>&1; then \
+		$(GOVULNCHECK) ./...; \
+	else \
+		echo "vuln: $(GOVULNCHECK) not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)" >&2; \
 	fi

@@ -12,6 +12,8 @@
 //	experiments -workers 1         # serial campaign (default: all cores)
 //	experiments -only sweep -perturb slow10:+10,fast10:-10
 //	                               # sweep extra latency-table variants
+//	experiments -only sweep -models ftc,ftcFsb,ilpPtac
+//	                               # sweep any registered contention models
 //	experiments -stats             # campaign engine counters on exit
 package main
 
@@ -24,16 +26,17 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/platform"
 	"repro/internal/workload"
+	"repro/wcet"
 )
 
 func main() {
 	only := flag.String("only", "", "regenerate a single artefact: table2, table3, table5, table6, figure4, sweep")
 	workers := flag.Int("workers", 0, "campaign worker-pool width; 0 means all cores")
 	perturb := flag.String("perturb", "", "extra sweep latency perturbations, comma-separated name:±pct (e.g. slow10:+10,fast10:-10)")
+	models := flag.String("models", "", "sweep these registered contention models, comma-separated (default ilpPtac,ftc)")
 	stats := flag.Bool("stats", false, "print campaign engine counters on exit")
 	flag.Parse()
 
@@ -43,6 +46,17 @@ func main() {
 	}
 	if *perturb != "" && *only != "" && *only != "sweep" {
 		fail(fmt.Errorf("-perturb only applies to the sweep artefact, not %q", *only))
+	}
+	if *models != "" && *only != "" && *only != "sweep" {
+		fail(fmt.Errorf("-models only applies to the sweep artefact, not %q", *only))
+	}
+	var modelList []string
+	if *models != "" {
+		for _, m := range strings.Split(*models, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				modelList = append(modelList, m)
+			}
+		}
 	}
 
 	ctx := context.Background()
@@ -54,7 +68,7 @@ func main() {
 		"table5":  table5,
 		"table6":  table6,
 		"figure4": figure4,
-		"sweep":   sweepArtefact(perts),
+		"sweep":   sweepArtefact(perts, modelList),
 	}
 	run := func(name string) {
 		if err := artefacts[name](ctx, runner, lat); err != nil {
@@ -147,7 +161,7 @@ func table3(context.Context, experiments.Runner, platform.LatencyTable) error {
 
 func table5(context.Context, experiments.Runner, platform.LatencyTable) error {
 	fmt.Println("== Table 5: ILP-PTAC tailoring per scenario ==")
-	for _, sc := range []core.Scenario{core.Scenario1(), core.Scenario2()} {
+	for _, sc := range []wcet.Scenario{wcet.Scenario1(), wcet.Scenario2()} {
 		fmt.Printf("%s: deploy=%v\n", sc.Name, sc.Deploy)
 		fmt.Printf("  pinned to zero:")
 		for _, to := range platform.AccessPairs() {
@@ -199,24 +213,37 @@ func figure4(ctx context.Context, r experiments.Runner, lat platform.LatencyTabl
 	return nil
 }
 
-func sweepArtefact(perts []experiments.Perturbation) func(context.Context, experiments.Runner, platform.LatencyTable) error {
+func sweepArtefact(perts []experiments.Perturbation, models []string) func(context.Context, experiments.Runner, platform.LatencyTable) error {
 	return func(ctx context.Context, r experiments.Runner, lat platform.LatencyTable) error {
 		points, err := r.Sweep(ctx, lat, experiments.Grid{
 			AppIterations: experiments.AppIterations,
 			Perturbations: perts,
+			Models:        models,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Println("== Design-space sweep (pre-integration, isolation measurements only) ==")
-		fmt.Printf("%-10s %-10s %-8s %12s %12s %12s\n", "platform", "deploy", "co-load", "isolation", "ILP WCET", "fTC WCET")
+		fmt.Printf("%-10s %-10s %-8s %12s", "platform", "deploy", "co-load", "isolation")
+		// The sweep is generic over the model registry: one WCET column
+		// per model the grid evaluated (the default grid prints the
+		// paper's ILP-PTAC and fTC pair).
+		if len(points) > 0 {
+			for _, e := range points[0].Estimates {
+				fmt.Printf(" %12s", e.Name+" WCET")
+			}
+		}
+		fmt.Println()
 		for _, p := range points {
 			name := p.Perturbation
 			if name == "" {
 				name = "base"
 			}
-			fmt.Printf("%-10s scenario%-2d %-8s %12d %12d %12d\n",
-				name, p.Scenario, p.Level, p.IsolationCycles, p.ILP.WCET(), p.FTC.WCET())
+			fmt.Printf("%-10s scenario%-2d %-8s %12d", name, p.Scenario, p.Level, p.IsolationCycles)
+			for _, e := range p.Estimates {
+				fmt.Printf(" %12d", e.WCET())
+			}
+			fmt.Println()
 		}
 		return nil
 	}

@@ -1,7 +1,7 @@
 // Command wcet computes contention-aware WCET estimates from debug-counter
 // readings, exactly as an integrator would at a pre-integration design
 // stage: feed it the isolation measurements of the task under analysis and
-// of its contenders, get back the fTC and ILP-PTAC bounds.
+// of its contenders, get back contention-aware bounds.
 //
 // Input is JSON on stdin (or -in file):
 //
@@ -11,13 +11,18 @@
 //	  "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
 //	}
 //
-// Output is JSON on stdout with both estimates. Exit status 1 on invalid
-// input. An optional "rta" object adds a schedulability verdict; see
-// internal/service for the full request schema.
+// By default the output is the frozen v1 response with the fTC and
+// ILP-PTAC bounds — byte-identical to wcetd's POST /v1/wcet for the same
+// input. With -models, the CLI speaks the v2 wire format instead: it
+// accepts the richer /v2/analyze request shape (templates, exact PTACs)
+// and emits exactly the selected models' estimates, matching POST
+// /v2/analyze byte for byte. -list prints the registered models. Exit
+// status 1 on invalid input. An optional "rta" object adds a
+// schedulability verdict; see internal/service for the full schema.
 //
 // The request/response types, validation, evaluation and encoding are
-// internal/service's — the same code path cmd/wcetd serves over HTTP, so
-// for the same input both emit byte-identical JSON.
+// internal/service's over the repro/wcet SDK — the same code path cmd/wcetd
+// serves over HTTP, so for the same input both emit byte-identical JSON.
 package main
 
 import (
@@ -25,13 +30,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/service"
+	"repro/wcet"
 )
 
 func main() {
 	inPath := flag.String("in", "", "read the request from this file instead of stdin")
+	models := flag.String("models", "", "emit the v2 response for these registered models, comma-separated (e.g. ilpPtac,ftcFsb)")
+	list := flag.Bool("list", false, "list the registered contention models and exit")
 	flag.Parse()
+
+	if *list {
+		reg := wcet.DefaultRegistry()
+		for _, name := range reg.Names() {
+			if aliases := reg.Aliases(name); len(aliases) > 0 {
+				fmt.Printf("%s (aliases: %s)\n", name, strings.Join(aliases, ", "))
+			} else {
+				fmt.Println(name)
+			}
+		}
+		return
+	}
 
 	var rd io.Reader = os.Stdin
 	if *inPath != "" {
@@ -41,6 +62,19 @@ func main() {
 		}
 		defer f.Close()
 		rd = f
+	}
+
+	if *models != "" {
+		var names []string
+		for _, m := range strings.Split(*models, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				names = append(names, m)
+			}
+		}
+		if err := service.RunCLIV2(rd, os.Stdout, names); err != nil {
+			fail(err)
+		}
+		return
 	}
 	if err := service.RunCLI(rd, os.Stdout); err != nil {
 		fail(err)

@@ -11,6 +11,11 @@
 //	POST /v1/batch  {"requests": [...]}: fans out across the campaign
 //	                worker pool, results in request order
 //	GET  /v1/stats  admission-control and cache counters
+//	POST /v2/analyze  registry-generic analysis: the caller selects any
+//	                subset of registered contention models by name
+//	                ({"models": ["ilpPtac", "ftcFsb"], ...}) and gets
+//	                exactly those estimates back, in request order
+//	GET  /v2/models list of registered models and their aliases
 //	GET  /healthz   liveness
 //
 // Identical requests are served from a canonical-request LRU cache, so
@@ -27,10 +32,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/service"
+	"repro/wcet"
 )
 
 func main() {
@@ -59,6 +66,7 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "wcetd: listening on %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "wcetd: serving models: %s\n", strings.Join(wcet.DefaultRegistry().Names(), ", "))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -5,7 +5,14 @@
 // cycle-level simulator of the TC27x memory system standing in for the
 // paper's silicon testbed.
 //
-// The library lives under internal/: the paper's contribution in
+// The public SDK lives in wcet/ (import repro/wcet): a pluggable
+// ContentionModel interface, a concurrency-safe model registry with the
+// paper's models pre-registered (ftc, ilpPtac, ftcFsb, templatePtac,
+// ideal), and an Analyzer facade the serving, CLI and experiment layers
+// all build on — adding a model or platform is a registration, not a
+// cross-cutting edit.
+//
+// The implementation lives under internal/: the paper's contribution in
 // internal/core, and every substrate it depends on (platform description,
 // SRI crossbar, TriCore cores, caches, DSU counters, simulation harness,
 // LP/ILP solver, workload generators, experiment drivers) alongside it.
@@ -16,10 +23,11 @@
 // parallel campaign is byte-identical to a serial one. The drivers in
 // internal/experiments (Table 2 calibration, Table 6 readings, Figure 4,
 // the multi-dimensional OEM design-space sweep) all go through it.
-// internal/service is the serving layer over the models: the
+// internal/service is the serving layer over the SDK: the
 // request/response API shared by the cmd/wcet CLI and the cmd/wcetd
-// HTTP daemon, canonical-request result caching, and admission control,
-// with batch requests fanned out across the campaign engine's pool.
+// HTTP daemon (the frozen /v1 pair and the registry-generic /v2),
+// canonical-request result caching, and admission control, with batch
+// requests fanned out across the campaign engine's pool.
 // Executables live under cmd/, runnable walkthroughs under examples/, and
 // the benchmark harness regenerating every table and figure of the paper's
 // evaluation is bench_test.go in this directory.

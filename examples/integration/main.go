@@ -12,16 +12,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/dsu"
 	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/sim"
 	"repro/internal/tricore"
 	"repro/internal/workload"
+	"repro/wcet"
 )
 
 func main() {
@@ -39,7 +39,7 @@ func main() {
 		{"cruise-control", 100, 210_000},
 		{"diagnostics", 160, 620_000},
 	}
-	var isoReadings []dsu.Readings
+	var isoReadings []wcet.Readings
 	for _, s := range specs {
 		src, err := workload.ControlLoop(workload.AppConfig{Scenario: workload.Scenario1, Core: 1, Iterations: s.iters})
 		if err != nil {
@@ -66,10 +66,10 @@ func main() {
 	fmt.Printf("%-15s isolation %7d cycles (announced co-runner)\n\n", "contender", contR.CCNT)
 
 	// Build the task set under each WCET instrument and run RTA.
-	analyse := func(label string, wcet func(dsu.Readings) int64) {
+	analyse := func(label string, bound func(wcet.Readings) int64) {
 		tasks := make([]rta.Task, len(specs))
 		for i, s := range specs {
-			tasks[i] = rta.Task{Name: s.name, WCET: wcet(isoReadings[i]), Period: s.period, Priority: i}
+			tasks[i] = rta.Task{Name: s.name, WCET: bound(isoReadings[i]), Period: s.period, Priority: i}
 		}
 		res, err := rta.Analyze(tasks)
 		if err != nil {
@@ -86,29 +86,33 @@ func main() {
 		fmt.Println()
 	}
 
-	mkInput := func(r dsu.Readings) core.Input {
-		return core.Input{A: r, B: []dsu.Readings{contR}, Lat: &lat, Scenario: core.Scenario1()}
+	an, err := wcet.NewAnalyzer(wcet.WithScenario(wcet.Scenario1()))
+	if err != nil {
+		log.Fatal(err)
 	}
-	analyse("1) fTC WCETs (any co-runner)", func(r dsu.Readings) int64 {
-		e, err := core.FTC(mkInput(r))
+	modelBound := func(model string, r wcet.Readings) int64 {
+		res, err := an.Analyze(context.Background(), wcet.Request{
+			Analysed:   r,
+			Contenders: []wcet.Readings{contR},
+			Models:     []string{model},
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		return e.WCET()
+		return res.Estimates[0].WCET()
+	}
+	analyse("1) fTC WCETs (any co-runner)", func(r wcet.Readings) int64 {
+		return modelBound("ftc", r)
 	})
-	analyse("2) ILP-PTAC WCETs (characterised co-runner)", func(r dsu.Readings) int64 {
-		e, err := core.ILPPTAC(mkInput(r), core.PTACOptions{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return e.WCET()
+	analyse("2) ILP-PTAC WCETs (characterised co-runner)", func(r wcet.Readings) int64 {
+		return modelBound("ilpPtac", r)
 	})
 
 	// 3) Enforcement: pick a quota for the contender and bound the
 	// interference without knowing anything about it.
 	const quota = 1500
-	bound := core.EnforcedContentionBound(quota, &lat)
-	analyse(fmt.Sprintf("3) enforcement WCETs (contender stall quota %d)", quota), func(r dsu.Readings) int64 {
+	bound := wcet.EnforcedContentionBound(quota, &lat)
+	analyse(fmt.Sprintf("3) enforcement WCETs (contender stall quota %d)", quota), func(r wcet.Readings) int64 {
 		return r.CCNT + bound
 	})
 

@@ -6,15 +6,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/dsu"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/tricore"
 	"repro/internal/workload"
+	"repro/wcet"
 )
 
 func main() {
@@ -40,7 +40,7 @@ func main() {
 		{core: 2, kind: tricore.TC16P, level: workload.MLoad},
 		{core: 0, kind: tricore.TC16E, level: workload.LLoad},
 	}
-	var contReadings []dsu.Readings
+	var contReadings []wcet.Readings
 	tasks := map[int]sim.Task{1: {Kind: tricore.TC16P, Src: app}}
 	for _, c := range contenders {
 		src, err := workload.Contender(workload.ContenderConfig{
@@ -59,15 +59,20 @@ func main() {
 		tasks[c.core] = sim.Task{Kind: c.kind, Src: src}
 	}
 
-	in := core.Input{A: appR, B: contReadings, Lat: &lat, Scenario: core.Scenario1()}
-	ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+	an, err := wcet.NewAnalyzer(wcet.WithScenario(wcet.Scenario1()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	ftcE, err := core.FTC(in)
+	res, err := an.Analyze(context.Background(), wcet.Request{
+		Analysed:   appR,
+		Contenders: contReadings,
+		Models:     []string{"ilpPtac", "ftc"},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ilpE, _ := res.Estimate("ilpPtac")
+	ftcE, _ := res.Estimate("ftc")
 	fmt.Println("\ntwo-contender bounds:")
 	fmt.Println("  ", ilpE)
 	fmt.Println("  ", ftcE)

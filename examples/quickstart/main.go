@@ -6,15 +6,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/dsu"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/tricore"
 	"repro/internal/workload"
+	"repro/wcet"
 )
 
 func main() {
@@ -57,21 +57,25 @@ func main() {
 	fmt.Println("contender, in isolation:")
 	fmt.Println("  ", contReadings)
 
-	// Step 4 — bound the multicore WCET from those readings alone.
-	in := core.Input{
-		A:        appReadings,
-		B:        []dsu.Readings{contReadings},
-		Lat:      &lat,
-		Scenario: core.Scenario1(),
-	}
-	ftcBound, err := core.FTC(in)
+	// Step 4 — bound the multicore WCET from those readings alone,
+	// through the public SDK facade (the same call the wcetd service and
+	// the experiment campaigns make).
+	an, err := wcet.NewAnalyzer(
+		wcet.WithScenario(wcet.Scenario1()),
+		wcet.WithModels("ftc", "ilpPtac"),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ilpBound, err := core.ILPPTAC(in, core.PTACOptions{})
+	res, err := an.Analyze(context.Background(), wcet.Request{
+		Analysed:   appReadings,
+		Contenders: []wcet.Readings{contReadings},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	ftcBound, _ := res.Estimate("ftc")
+	ilpBound, _ := res.Estimate("ilpPtac")
 	fmt.Println("\ncontention-aware WCET bounds:")
 	fmt.Println("  ", ftcBound)
 	fmt.Println("  ", ilpBound)

@@ -1,9 +1,11 @@
 // Service walkthrough: the OEM integration stream the paper motivates,
 // end to end over HTTP — a software provider submits a batch of
 // debug-counter readings for its task portfolio to a running wcetd, reads
-// back fTC and ILP-PTAC bounds plus an RTA schedulability verdict, and a
+// back fTC and ILP-PTAC bounds plus an RTA schedulability verdict, a
 // second identical submission is answered from the canonical-request
-// cache without re-solving anything (watch the hit counter move).
+// cache without re-solving anything (watch the hit counter move), and the
+// versioned v2 API then serves an arbitrary subset of the registered
+// contention models — here the FSB-collapse bound /v1 never exposed.
 //
 // The daemon here is started in-process for a self-contained example; in
 // production it is `go run ./cmd/wcetd -addr :8080` and the HTTP calls
@@ -85,6 +87,43 @@ func main() {
 	getJSON(base+"/v1/stats", &stats)
 	fmt.Printf("after resubmission: cache hits=%d misses=%d (batch items served: %d)\n",
 		stats.Cache.Hits, stats.Cache.Misses, stats.BatchItems)
+
+	// Step 3 — the v2 API is generic over the model registry: discover
+	// what this daemon serves, then request exactly one model — here the
+	// front-side-bus collapse, which /v1 cannot produce at all.
+	var models service.V2ModelsResponse
+	getJSON(base+"/v2/models", &models)
+	names := make([]string, len(models.Models))
+	for i, m := range models.Models {
+		names[i] = m.Name
+	}
+	fmt.Printf("registered models: %v\n", names)
+
+	v2 := service.V2Request{
+		Scenario:   1,
+		Models:     []string{"ftcFsb"},
+		Analysed:   dsu.Readings{CCNT: 157800, PS: 18000, DS: 27000, PM: 3000},
+		Contenders: []dsu.Readings{contender},
+	}
+	body, err := json.Marshal(v2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v2/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("/v2/analyze rejected: %s", resp.Status)
+	}
+	var v2out service.V2Response
+	if err := json.NewDecoder(resp.Body).Decode(&v2out); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, e := range v2out.Estimates {
+		fmt.Printf("v2 %s (%s): wcet %d cycles (x%.2f)\n", e.Name, e.Model, e.WCETCycles, e.Ratio)
+	}
 
 	if err := srv.Shutdown(context.Background()); err != nil {
 		log.Fatal(err)

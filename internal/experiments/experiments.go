@@ -27,6 +27,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tricore"
 	"repro/internal/workload"
+	"repro/wcet"
 )
 
 // AnalysedCore and ContenderCore are the paper's placement: "Core 1 and
@@ -207,6 +208,25 @@ func coreScenario(sc workload.Scenario) core.Scenario {
 	return core.Scenario1()
 }
 
+// analyzerFor builds the SDK facade for one campaign cell: the cell's
+// (possibly perturbed) latency table and scenario tailoring, on the given
+// registry (nil selects the shared default). Construction is cheap —
+// an Analyzer is a handful of fields — so cells do not share one.
+func analyzerFor(lat platform.LatencyTable, sc workload.Scenario, reg *wcet.Registry) (*wcet.Analyzer, error) {
+	// Concurrency 1: a cell already occupies one campaign-engine worker
+	// slot, so intra-cell model fan-out would overrun the -workers bound
+	// (the same reasoning as the server's analyzer).
+	opts := []wcet.Option{
+		wcet.WithLatencyTable(lat),
+		wcet.WithScenario(coreScenario(sc)),
+		wcet.WithConcurrency(1),
+	}
+	if reg != nil {
+		opts = append(opts, wcet.WithRegistry(reg))
+	}
+	return wcet.NewAnalyzer(opts...)
+}
+
 // Table6Readings regenerates Table 6 for one scenario on the default
 // runner.
 func Table6Readings(lat platform.LatencyTable, sc workload.Scenario) (app, contender dsu.Readings, err error) {
@@ -357,23 +377,27 @@ func (r Runner) Figure4Cell(ctx context.Context, lat platform.LatencyTable, sc w
 	}
 
 	// Step 2: the contender at this load level, measured in isolation.
-	in := core.Input{A: appR, Lat: &lat, Scenario: coreScenario(sc)}
 	contSrc, contR, err := r.sizeContender(ctx, lat, sc, lv, appR)
 	if err != nil {
 		return Figure4Row{}, err
 	}
-	in.B = []dsu.Readings{contR}
 
-	// Step 3: model bounds, from isolation readings only.
-
-	ilpEst, err := core.ILPPTAC(in, core.PTACOptions{})
+	// Step 3: model bounds, from isolation readings only, through the SDK
+	// facade — the same invocation any integrator toolchain makes.
+	an, err := analyzerFor(lat, sc, nil)
 	if err != nil {
 		return Figure4Row{}, err
 	}
-	ftcEst, err := core.FTC(in)
+	res, err := an.Analyze(ctx, wcet.Request{
+		Analysed:   appR,
+		Contenders: []dsu.Readings{contR},
+		Models:     []string{"ilpPtac", "ftc"},
+	})
 	if err != nil {
 		return Figure4Row{}, err
 	}
+	ilpEst, _ := res.Estimate("ilpPtac")
+	ftcEst, _ := res.Estimate("ftc")
 
 	// Step 4: the deployment-time truth the models must upper-bound —
 	// both tasks co-running.

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"repro/wcet"
+)
+
+// TestSweepCustomModelZeroEdits is the campaign half of the SDK's
+// acceptance criterion: a toy ContentionModel registered into a registry
+// and named in the grid runs in every sweep cell — no change to this
+// package, no new switch arm.
+func TestSweepCustomModelZeroEdits(t *testing.T) {
+	reg := wcet.NewDefaultRegistry()
+	toy := wcet.NewModel("toy", func(_ context.Context, in wcet.Input) (wcet.Estimate, error) {
+		return wcet.Estimate{Model: "toy", IsolationCycles: in.Analysed.CCNT, ContentionCycles: 7}, nil
+	})
+	if err := reg.Register(toy); err != nil {
+		t.Fatal(err)
+	}
+
+	points, err := NewRunner(nil).Sweep(context.Background(), lat, Grid{
+		AppIterations: 20,
+		Models:        []string{"toy", "ftc"},
+		Registry:      reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("got %d points, want 6", len(points))
+	}
+	for _, p := range points {
+		if len(p.Estimates) != 2 || p.Estimates[0].Name != "toy" || p.Estimates[1].Name != "ftc" {
+			t.Fatalf("cell sc%d %s: estimates %+v, want [toy ftc]", p.Scenario, p.Level, p.Estimates)
+		}
+		if p.Estimates[0].ContentionCycles != 7 {
+			t.Errorf("cell sc%d %s: toy contention %d, want 7", p.Scenario, p.Level, p.Estimates[0].ContentionCycles)
+		}
+		if p.Estimates[0].IsolationCycles != p.IsolationCycles {
+			t.Errorf("cell sc%d %s: toy isolation %d != cell isolation %d",
+				p.Scenario, p.Level, p.Estimates[0].IsolationCycles, p.IsolationCycles)
+		}
+		// The grid did not select ilpPtac, so the legacy mirror stays zero.
+		if p.ILP.Model != "" {
+			t.Errorf("cell sc%d %s: ILP mirror populated without ilpPtac in the grid: %+v", p.Scenario, p.Level, p.ILP)
+		}
+		if p.FTC.Model != "fTC" {
+			t.Errorf("cell sc%d %s: FTC mirror missing: %+v", p.Scenario, p.Level, p.FTC)
+		}
+		// Judge needs both default bounds; with ilpPtac deselected it must
+		// say so, not classify a zero estimate as fitting.
+		if v := p.Judge(1); v != Unknown {
+			t.Errorf("cell sc%d %s: Judge on a partial grid = %v, want Unknown", p.Scenario, p.Level, v)
+		}
+	}
+}

@@ -9,12 +9,13 @@ import (
 	"repro/internal/dsu"
 	"repro/internal/platform"
 	"repro/internal/workload"
+	"repro/wcet"
 )
 
 // SweepPoint is one cell of a design-space exploration: a deployment
 // scenario paired with a candidate co-runner load on a (possibly
-// perturbed) platform characterisation, and the WCET verdicts each model
-// gives for it.
+// perturbed) platform characterisation, and the WCET verdicts each
+// selected model gives for it.
 type SweepPoint struct {
 	Scenario workload.Scenario
 	Level    workload.Level
@@ -23,8 +24,17 @@ type SweepPoint struct {
 	Perturbation string
 
 	IsolationCycles int64
-	ILP             core.Estimate
-	FTC             core.Estimate
+
+	// Estimates holds every selected model's bound, in grid model order
+	// (canonical names).
+	Estimates []wcet.ModelEstimate
+
+	// ILP and FTC mirror the corresponding Estimates entries when the
+	// grid selects those models (the default grid does); they are zero
+	// otherwise. Kept for the paper's original two-model exploration
+	// workflow and its Judge verdicts.
+	ILP core.Estimate
+	FTC core.Estimate
 }
 
 // Verdict classifies a point against an OEM time budget.
@@ -40,6 +50,9 @@ const (
 	// FullyComposable: even the fTC bound fits; the configuration is
 	// safe against any co-runner.
 	FullyComposable
+	// Unknown: the grid did not select both default models, so the
+	// two-bound classification cannot be made.
+	Unknown
 )
 
 // String names the verdict.
@@ -51,13 +64,20 @@ func (v Verdict) String() string {
 		return "fits with contender knowledge"
 	case FullyComposable:
 		return "fits fully time-composable"
+	case Unknown:
+		return "unknown (grid lacks ftc/ilpPtac)"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
 }
 
-// Judge classifies the point against a cycle budget.
+// Judge classifies the point against a cycle budget. It needs both
+// default models' bounds; on a grid that deselected ftc or ilpPtac it
+// returns Unknown rather than misreading a zero estimate as fitting.
 func (p SweepPoint) Judge(budget int64) Verdict {
+	if p.FTC.Model == "" || p.ILP.Model == "" {
+		return Unknown
+	}
 	switch {
 	case p.FTC.WCET() <= budget:
 		return FullyComposable
@@ -117,14 +137,22 @@ func ScaleLatencies(name string, num, den int64) Perturbation {
 
 // Grid configures a multi-dimensional design-space sweep: every
 // combination of deployment scenario, contender load and latency-table
-// perturbation becomes one engine cell. Zero-valued dimensions default to
-// the paper's evaluation grid (both scenarios, all three loads, the
-// unperturbed table, AppIterations iterations).
+// perturbation becomes one engine cell, and each cell evaluates the
+// selected contention models. Zero-valued dimensions default to the
+// paper's evaluation grid (both scenarios, all three loads, the
+// unperturbed table, AppIterations iterations, the ILP-PTAC + fTC pair).
 type Grid struct {
 	Scenarios     []workload.Scenario
 	Levels        []workload.Level
 	Perturbations []Perturbation
 	AppIterations int
+	// Models selects which registered contention models every cell
+	// evaluates (canonical names or aliases); empty selects
+	// ["ilpPtac", "ftc"]. Any model in Registry is valid — a newly
+	// registered model is sweepable with no change to this package.
+	Models []string
+	// Registry resolves Models; nil selects wcet.DefaultRegistry.
+	Registry *wcet.Registry
 }
 
 // withDefaults fills unset dimensions with the paper's grid.
@@ -140,6 +168,9 @@ func (g Grid) withDefaults() Grid {
 	}
 	if g.AppIterations <= 0 {
 		g.AppIterations = AppIterations
+	}
+	if len(g.Models) == 0 {
+		g.Models = []string{"ilpPtac", "ftc"}
 	}
 	return g
 }
@@ -179,7 +210,7 @@ func (r Runner) Sweep(ctx context.Context, lat platform.LatencyTable, grid Grid)
 		for _, sc := range grid.Scenarios {
 			for _, lv := range grid.Levels {
 				jobs = append(jobs, func(ctx context.Context) (SweepPoint, error) {
-					p, err := r.sweepCell(ctx, lat, sc, lv, grid.AppIterations)
+					p, err := r.sweepCell(ctx, lat, sc, lv, grid)
 					if err != nil {
 						return SweepPoint{}, fmt.Errorf("experiments: sweep %q scenario %d %s: %w", pert.Name, sc, lv, err)
 					}
@@ -192,9 +223,11 @@ func (r Runner) Sweep(ctx context.Context, lat platform.LatencyTable, grid Grid)
 	return campaign.Collect(ctx, r.eng, jobs)
 }
 
-// sweepCell evaluates one grid cell from isolation measurements only.
-func (r Runner) sweepCell(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario, lv workload.Level, appIterations int) (SweepPoint, error) {
-	appR, err := r.appIsolation(ctx, lat, sc, appIterations)
+// sweepCell evaluates one grid cell from isolation measurements only: the
+// grid's model set, run through the SDK facade on the cell's (possibly
+// perturbed) platform characterisation.
+func (r Runner) sweepCell(ctx context.Context, lat platform.LatencyTable, sc workload.Scenario, lv workload.Level, grid Grid) (SweepPoint, error) {
+	appR, err := r.appIsolation(ctx, lat, sc, grid.AppIterations)
 	if err != nil {
 		return SweepPoint{}, err
 	}
@@ -202,20 +235,29 @@ func (r Runner) sweepCell(ctx context.Context, lat platform.LatencyTable, sc wor
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	in := core.Input{A: appR, B: []dsu.Readings{contR}, Lat: &lat, Scenario: coreScenario(sc)}
-	ilpE, err := core.ILPPTAC(in, core.PTACOptions{})
+	an, err := analyzerFor(lat, sc, grid.Registry)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	ftcE, err := core.FTC(in)
+	res, err := an.Analyze(ctx, wcet.Request{
+		Analysed:   appR,
+		Contenders: []dsu.Readings{contR},
+		Models:     grid.Models,
+	})
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	return SweepPoint{
+	p := SweepPoint{
 		Scenario:        sc,
 		Level:           lv,
 		IsolationCycles: appR.CCNT,
-		ILP:             ilpE,
-		FTC:             ftcE,
-	}, nil
+		Estimates:       res.Estimates,
+	}
+	if e, ok := res.Estimate("ilpPtac"); ok {
+		p.ILP = e
+	}
+	if e, ok := res.Estimate("ftc"); ok {
+		p.FTC = e
+	}
+	return p, nil
 }

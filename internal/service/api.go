@@ -1,8 +1,8 @@
-// Package service is the serving layer over the paper's contention
-// models: the request/response API shared by the cmd/wcet CLI and the
-// cmd/wcetd daemon, request canonicalization and content-addressed result
-// caching, and an HTTP server with admission control that fans batch
-// requests out across the campaign engine's worker pool.
+// Package service is the serving layer over the repro/wcet SDK: the
+// request/response API shared by the cmd/wcet CLI and the cmd/wcetd
+// daemon, request canonicalization and content-addressed result caching,
+// and an HTTP server with admission control that fans batch requests out
+// across the campaign engine's worker pool.
 //
 // The industrial workflow the paper motivates — an OEM integrating tasks
 // from many software providers, each needing contention-aware WCET
@@ -12,17 +12,22 @@
 // decode requests with DecodeRequest, evaluate them with Evaluate, and
 // encode responses with EncodeJSON, so for the same input they emit
 // byte-identical JSON (asserted by tests).
+//
+// Two API versions are served. /v1 is frozen: it always computes the fTC
+// and ILP-PTAC pair and its wire format is pinned byte-for-byte by golden
+// fixtures. /v2/analyze is generic over the wcet model registry — callers
+// select any subset of registered models by name — so a newly registered
+// ContentionModel is servable with no change to this package.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
-	"repro/internal/core"
 	"repro/internal/dsu"
-	"repro/internal/platform"
-	"repro/internal/rta"
+	"repro/wcet"
 )
 
 // Request is one WCET-analysis query: the scenario the deployment is
@@ -110,7 +115,16 @@ type Response struct {
 // Validate rejects malformed requests before any model runs: unknown
 // scenarios and stall modes, impossible DSU readings (negative counters,
 // stalls or miss counts exceeding CCNT), and nonsensical RTA parameters.
+// Model-name spellings are resolved against the default registry; a server
+// carrying its own registry validates against that one instead.
 func (r Request) Validate() error {
+	return r.validate(defaultAnalyzer.Registry())
+}
+
+// validate is Validate against a specific registry — the same one the
+// evaluation will resolve names through, so accepted spellings cannot
+// drift between admission and evaluation.
+func (r Request) validate(reg *wcet.Registry) error {
 	// Delegate to the same mappers Evaluate uses, so the accepted value
 	// sets cannot drift from what evaluation understands.
 	if _, err := scenario(r.Scenario); err != nil {
@@ -128,7 +142,7 @@ func (r Request) Validate() error {
 		}
 	}
 	if r.RTA != nil {
-		if _, err := rtaModel(r.RTA.Model); err != nil {
+		if _, err := rtaModel(reg, r.RTA.Model); err != nil {
 			return err
 		}
 		// Full task validation (periods, deadlines) happens in rta.Analyze
@@ -173,142 +187,158 @@ func EncodeJSON(w io.Writer, v any) error {
 	return enc.Encode(v)
 }
 
-// scenario maps the wire scenario number to the core tailoring.
-func scenario(n int) (core.Scenario, error) {
+// scenario maps the wire scenario number to the SDK tailoring.
+func scenario(n int) (wcet.Scenario, error) {
 	switch n {
 	case 1:
-		return core.Scenario1(), nil
+		return wcet.Scenario1(), nil
 	case 2:
-		return core.Scenario2(), nil
+		return wcet.Scenario2(), nil
 	default:
-		return core.Scenario{}, fmt.Errorf("scenario must be 1 or 2, got %d", n)
+		return wcet.Scenario{}, fmt.Errorf("scenario must be 1 or 2, got %d", n)
 	}
 }
 
 // stallMode maps the wire stall-mode string to the ILP option.
-func stallMode(s string) (core.StallMode, error) {
+func stallMode(s string) (wcet.StallMode, error) {
 	switch s {
 	case "", "budget":
-		return core.StallBudget, nil
+		return wcet.StallBudget, nil
 	case "exact":
-		return core.StallExact, nil
+		return wcet.StallExact, nil
 	default:
 		return 0, fmt.Errorf("stallMode must be budget or exact, got %q", s)
 	}
 }
 
-// rtaModel normalizes the wire RTA model selector.
-func rtaModel(s string) (string, error) {
-	switch s {
-	case "", "ilpPtac":
-		return "ilpPtac", nil
-	case "ftc":
-		return "ftc", nil
-	default:
-		return "", fmt.Errorf("rta.model must be ilpPtac or ftc, got %q", s)
+// v1Models is the fixed pair every /v1 evaluation computes; the frozen v1
+// wire format has one field per member.
+var v1Models = [2]string{"ftc", "ilpPtac"}
+
+// rtaModel resolves the wire RTA model selector through the given SDK
+// registry (one parser for every alias, unknown names list the registered
+// set) and then pins it to the pair /v1 actually computes.
+func rtaModel(reg *wcet.Registry, s string) (string, error) {
+	canon, err := reg.Canonical(s)
+	if err != nil {
+		return "", fmt.Errorf("rta.model: %w", err)
 	}
+	if canon != "ftc" && canon != "ilpPtac" {
+		return "", fmt.Errorf("rta.model: /v1 computes only %s and %s, got %q (use /v2/analyze for other models)", v1Models[0], v1Models[1], s)
+	}
+	return canon, nil
 }
 
-// Evaluate runs the fTC and ILP-PTAC models (and the optional RTA step)
-// on one request. It is a pure function of the request: the CLI calls it
-// once per process, the daemon calls it per cache miss.
-func Evaluate(req Request) (*Response, error) {
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
+// defaultAnalyzer backs the package-level Evaluate (the CLI path and every
+// default-configured server): the shared default registry, the TC27x
+// characterisation, the frozen v1 model pair.
+var defaultAnalyzer = wcet.MustNewAnalyzer()
+
+// toSDKRequest maps the v1 wire request onto the SDK facade's request,
+// resolving model spellings against the registry that will evaluate it.
+func toSDKRequest(reg *wcet.Registry, req Request) (wcet.Request, error) {
 	sc, err := scenario(req.Scenario)
 	if err != nil {
-		return nil, err
+		return wcet.Request{}, err
 	}
 	mode, err := stallMode(req.StallMode)
 	if err != nil {
-		return nil, err
+		return wcet.Request{}, err
 	}
-	lat := platform.TC27xLatencies()
-
-	in := core.Input{A: req.Analysed, B: req.Contenders, Lat: &lat, Scenario: sc}
-	ftcE, err := core.FTC(in)
-	if err != nil {
-		return nil, err
-	}
-	ilpE, err := core.ILPPTAC(in, core.PTACOptions{
+	out := wcet.Request{
+		Analysed:          req.Analysed,
+		Contenders:        req.Contenders,
+		Scenario:          sc,
 		StallMode:         mode,
 		DropContenderInfo: req.DropContenderInfo,
-	})
-	if err != nil {
-		return nil, err
+		Models:            v1Models[:],
 	}
-
-	resp := &Response{FTC: toEstimateOut(ftcE), ILP: toEstimateOut(ilpE)}
 	if req.RTA != nil {
-		verdict, err := analyzeRTA(*req.RTA, resp)
+		model, err := rtaModel(reg, req.RTA.Model)
 		if err != nil {
-			return nil, err
+			return wcet.Request{}, err
 		}
-		resp.RTA = verdict
-	}
-	return resp, nil
-}
-
-// analyzeRTA runs response-time analysis with the analysed task's WCET
-// taken from the selected model's bound.
-func analyzeRTA(req RTARequest, resp *Response) (*RTAOut, error) {
-	model, err := rtaModel(req.Model)
-	if err != nil {
-		return nil, err
-	}
-	wcet := resp.ILP.WCETCycles
-	if model == "ftc" {
-		wcet = resp.FTC.WCETCycles
-	}
-
-	analysed := req.Task
-	if analysed.Name == "" {
-		analysed.Name = "analysed"
-	}
-	tasks := make([]rta.Task, 0, 1+len(req.Others))
-	tasks = append(tasks, rta.Task{
-		Name:     analysed.Name,
-		WCET:     wcet,
-		Period:   analysed.PeriodCycles,
-		Deadline: analysed.DeadlineCycles,
-		Priority: analysed.Priority,
-	})
-	for _, o := range req.Others {
-		tasks = append(tasks, rta.Task{
-			Name:     o.Name,
-			WCET:     o.WCETCycles,
-			Period:   o.PeriodCycles,
-			Deadline: o.DeadlineCycles,
-			Priority: o.Priority,
-		})
-	}
-	results, err := rta.Analyze(tasks)
-	if err != nil {
-		return nil, fmt.Errorf("rta: %w", err)
-	}
-
-	out := &RTAOut{
-		Model:       model,
-		WCETCycles:  wcet,
-		Utilization: rta.Utilization(tasks),
-		Schedulable: true,
-		Results:     make([]RTAResultOut, len(results)),
-	}
-	for i, r := range results {
-		out.Results[i] = RTAResultOut{
-			Task:           r.Task,
-			ResponseCycles: r.Response,
-			Schedulable:    r.Schedulable,
+		out.RTA = &wcet.RTASpec{
+			Model:  model,
+			Task:   toRTATask(req.RTA.Task),
+			Others: make([]wcet.RTATask, len(req.RTA.Others)),
 		}
-		if !r.Schedulable {
-			out.Schedulable = false
+		for i, o := range req.RTA.Others {
+			out.RTA.Others[i] = toRTATask(o)
 		}
 	}
 	return out, nil
 }
 
-func toEstimateOut(e core.Estimate) EstimateOut {
+func toRTATask(t RTATask) wcet.RTATask {
+	return wcet.RTATask{
+		Name:     t.Name,
+		WCET:     t.WCETCycles,
+		Period:   t.PeriodCycles,
+		Deadline: t.DeadlineCycles,
+		Priority: t.Priority,
+	}
+}
+
+// Evaluate runs the frozen v1 pair — the fTC and ILP-PTAC models — and
+// the optional RTA step on one request, through the default SDK analyzer.
+// It is a pure function of the request: the CLI calls it once per process,
+// the daemon calls it per cache miss.
+func Evaluate(req Request) (*Response, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return evaluateWith(defaultAnalyzer, req)
+}
+
+// evaluateWith is Evaluate against a specific analyzer (a server may carry
+// its own registry). Callers must have validated req — the server does so
+// pre-admission, Evaluate does so on entry — so the miss path does not
+// re-validate.
+func evaluateWith(an *wcet.Analyzer, req Request) (*Response, error) {
+	sdkReq, err := toSDKRequest(an.Registry(), req)
+	if err != nil {
+		return nil, err
+	}
+	res, err := an.Analyze(context.Background(), sdkReq)
+	if err != nil {
+		return nil, err
+	}
+	ftcE, ok := res.Estimate("ftc")
+	if !ok {
+		return nil, fmt.Errorf("service: analyzer returned no ftc estimate")
+	}
+	ilpE, ok := res.Estimate("ilpPtac")
+	if !ok {
+		return nil, fmt.Errorf("service: analyzer returned no ilpPtac estimate")
+	}
+	resp := &Response{FTC: toEstimateOut(ftcE), ILP: toEstimateOut(ilpE)}
+	if res.RTA != nil {
+		resp.RTA = toRTAOut(res.RTA)
+	}
+	return resp, nil
+}
+
+// toRTAOut maps the SDK verdict onto the v1 wire form.
+func toRTAOut(v *wcet.RTAVerdict) *RTAOut {
+	out := &RTAOut{
+		Model:       v.Model,
+		WCETCycles:  v.WCETCycles,
+		Utilization: v.Utilization,
+		Schedulable: v.Schedulable,
+		Results:     make([]RTAResultOut, len(v.Results)),
+	}
+	for i, r := range v.Results {
+		out.Results[i] = RTAResultOut{
+			Task:           r.Task,
+			ResponseCycles: r.Response,
+			Schedulable:    r.Schedulable,
+		}
+	}
+	return out
+}
+
+func toEstimateOut(e wcet.Estimate) EstimateOut {
 	return EstimateOut{
 		Model:            e.Model,
 		IsolationCycles:  e.IsolationCycles,

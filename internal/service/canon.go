@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"repro/internal/dsu"
+	"repro/wcet"
 )
 
 // CanonicalKey content-addresses a request: two requests get the same key
@@ -23,6 +24,13 @@ import (
 // adjacent numeric fields cannot alias and arbitrarily large requests
 // address a fixed-size key.
 func CanonicalKey(req Request) string {
+	return canonicalKeyReg(wcet.DefaultRegistry(), req)
+}
+
+// canonicalKeyReg is CanonicalKey resolving alias spellings through a
+// specific registry — the server passes its own, so custom-registry
+// aliases collapse like built-in ones.
+func canonicalKeyReg(reg *wcet.Registry, req Request) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "v1;sc=%d;mode=%s;drop=%t;a=%s", req.Scenario, canonStallMode(req.StallMode), req.DropContenderInfo, canonReadings(req.Analysed))
 
@@ -35,9 +43,12 @@ func CanonicalKey(req Request) string {
 	b.WriteString(strings.Join(cs, "|"))
 
 	if req.RTA != nil {
-		model := req.RTA.Model
-		if model == "" {
-			model = "ilpPtac"
+		// Collapse alias spellings (v1 validation accepts them) so "FTC"
+		// and "ftc" share an entry; unknown names keep their raw spelling
+		// — they never reach the cache, validation rejects them first.
+		model, err := reg.Canonical(req.RTA.Model)
+		if err != nil {
+			model = req.RTA.Model
 		}
 		task := req.RTA.Task
 		if task.Name == "" {
@@ -54,7 +65,12 @@ func CanonicalKey(req Request) string {
 		}
 	}
 
-	sum := sha256.Sum256([]byte(b.String()))
+	return hashKey(b.String())
+}
+
+// hashKey folds a canonical rendering into the fixed-size cache key.
+func hashKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:])
 }
 

@@ -7,11 +7,12 @@ import (
 )
 
 // cached is one content-addressed analysis result: the decoded response
-// (for batch items and the RTA step) plus its canonical JSON encoding
-// (what the single-estimate endpoint writes verbatim). Both are
-// immutable once stored; every cache consumer shares them read-only.
+// (*Response for v1 entries, *V2Response for v2 entries — batch fan-out
+// needs the decoded v1 form) plus its canonical JSON encoding (what the
+// single-estimate endpoints write verbatim). Both are immutable once
+// stored; every cache consumer shares them read-only.
 type cached struct {
-	resp *Response
+	resp any
 	body []byte
 }
 

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/wcet"
 )
 
 // Config sizes the daemon. The zero value is usable: every field has a
@@ -41,6 +42,13 @@ type Config struct {
 	// MaxBatchItems caps the cells of one batch request (one admission
 	// unit); <= 0 selects 4096.
 	MaxBatchItems int
+	// Registry is the contention-model registry /v2/analyze serves; nil
+	// selects the shared wcet.DefaultRegistry. /v1 computes the ftc and
+	// ilpPtac pair unconditionally, so a registry without them (any
+	// wcet.NewDefaultRegistry-derived registry has them) yields a
+	// v2-only server whose /v1 requests fail with an unknown-model error.
+	// A registry with no models at all is a programming error: New panics.
+	Registry *wcet.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +128,7 @@ type Stats struct {
 	SingleRequests int64 `json:"singleRequests"`
 	BatchRequests  int64 `json:"batchRequests"`
 	BatchItems     int64 `json:"batchItems"`
+	V2Requests     int64 `json:"v2Requests"`
 
 	Cache CacheStats `json:"cache"`
 }
@@ -139,9 +148,10 @@ type flight struct {
 // and content-addressed caching. Construct with New; a Server is safe
 // for concurrent use.
 type Server struct {
-	cfg    Config
-	engine *campaign.Engine
-	cache  *resultCache
+	cfg      Config
+	engine   *campaign.Engine
+	cache    *resultCache
+	analyzer *wcet.Analyzer
 
 	sem    chan struct{}
 	queued atomic.Int64
@@ -157,6 +167,7 @@ type Server struct {
 	singleRequests   atomic.Int64
 	batchRequests    atomic.Int64
 	batchItems       atomic.Int64
+	v2Requests       atomic.Int64
 
 	httpSrv *http.Server
 }
@@ -169,17 +180,40 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 	if engine == nil {
 		engine = campaign.New(cfg.Workers)
 	}
+	// The server gets its own analyzer with intra-request concurrency 1:
+	// every cache miss already runs as one engine-slot campaign job, so
+	// fanning a request's models out in parallel inside that slot would
+	// multiply concurrent solves past the Workers bound admission control
+	// exists to enforce.
+	reg := cfg.Registry
+	if reg == nil {
+		reg = wcet.DefaultRegistry()
+	}
+	if len(reg.Names()) == 0 {
+		panic("service: Config.Registry has no registered models")
+	}
+	opts := []wcet.Option{wcet.WithRegistry(reg), wcet.WithConcurrency(1)}
+	analyzer, err := wcet.NewAnalyzer(opts...)
+	if err != nil {
+		// The registry lacks the v1 pair — a v2-only deployment. Default
+		// the model set to whatever is registered so the server still
+		// constructs; /v1 requests then fail individually.
+		analyzer = wcet.MustNewAnalyzer(append(opts, wcet.WithModels(reg.Names()...))...)
+	}
 	s := &Server{
-		cfg:     cfg,
-		engine:  engine,
-		cache:   newResultCache(cfg.CacheEntries),
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		flights: make(map[string]*flight),
+		cfg:      cfg,
+		engine:   engine,
+		cache:    newResultCache(cfg.CacheEntries),
+		analyzer: analyzer,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+		flights:  make(map[string]*flight),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/wcet", s.handleSingle)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v2/analyze", s.handleV2Analyze)
+	mux.HandleFunc("/v2/models", s.handleV2Models)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	s.httpSrv = &http.Server{
 		Handler:           mux,
@@ -225,6 +259,7 @@ func (s *Server) StatsSnapshot() Stats {
 		SingleRequests:   s.singleRequests.Load(),
 		BatchRequests:    s.batchRequests.Load(),
 		BatchItems:       s.batchItems.Load(),
+		V2Requests:       s.v2Requests.Load(),
 		Cache: CacheStats{
 			Hits:      s.cache.hits.Load(),
 			Misses:    s.cache.misses.Load(),
@@ -278,12 +313,14 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 }
 
 // lookupOrCompute is the one cache-accounting point per request: a
-// counting LRU lookup, then the miss path.
-func (s *Server) lookupOrCompute(ctx context.Context, key string, req Request) (*cached, error) {
+// counting LRU lookup, then the miss path. compute is the version-specific
+// evaluation (v1 or v2); the admission, caching and singleflight machinery
+// is shared.
+func (s *Server) lookupOrCompute(ctx context.Context, key string, compute func() (*cached, error)) (*cached, error) {
 	if v, ok := s.cache.get(key); ok {
 		return v, nil
 	}
-	return s.computeMiss(ctx, key, req)
+	return s.computeMiss(ctx, key, compute)
 }
 
 // computeMiss resolves a request whose miss is already counted: re-check
@@ -291,7 +328,7 @@ func (s *Server) lookupOrCompute(ctx context.Context, key string, req Request) (
 // this one queued), join an identical in-flight evaluation, or evaluate.
 // ctx bounds only the join wait: an evaluation, once started, runs to
 // completion so its result can be cached for the next asker.
-func (s *Server) computeMiss(ctx context.Context, key string, req Request) (*cached, error) {
+func (s *Server) computeMiss(ctx context.Context, key string, compute func() (*cached, error)) (*cached, error) {
 	if v, ok := s.cache.peek(key); ok {
 		return v, nil
 	}
@@ -310,7 +347,7 @@ func (s *Server) computeMiss(ctx context.Context, key string, req Request) (*cac
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	f.val, f.err = evaluateEncoded(req)
+	f.val, f.err = compute()
 	if f.err == nil {
 		s.cache.put(key, f.val)
 	}
@@ -321,10 +358,24 @@ func (s *Server) computeMiss(ctx context.Context, key string, req Request) (*cac
 	return f.val, f.err
 }
 
-// evaluateEncoded runs the models and freezes the response together with
-// its canonical encoding.
-func evaluateEncoded(req Request) (*cached, error) {
-	resp, err := Evaluate(req)
+// evaluateEncoded runs the v1 models and freezes the response together
+// with its canonical encoding.
+func (s *Server) evaluateEncoded(req Request) (*cached, error) {
+	resp, err := evaluateWith(s.analyzer, req)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, resp); err != nil {
+		return nil, err
+	}
+	return &cached{resp: resp, body: buf.Bytes()}, nil
+}
+
+// evaluateV2Encoded runs an already-prepared request's selected models and
+// freezes the v2 response with its canonical encoding.
+func (s *Server) evaluateV2Encoded(sdkReq wcet.Request) (*cached, error) {
+	resp, err := evaluateV2Prepared(s.analyzer, sdkReq)
 	if err != nil {
 		return nil, err
 	}
@@ -351,12 +402,60 @@ func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		httpError(w, decodeStatus(err), err)
 		return
 	}
-	if err := req.Validate(); err != nil {
+	if err := req.validate(s.analyzer.Registry()); err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := CanonicalKey(req)
+	s.serveCached(w, r, canonicalKeyReg(s.analyzer.Registry(), req), func() (*cached, error) {
+		return s.evaluateEncoded(req)
+	})
+}
 
+// handleV2Analyze serves the registry-generic analysis endpoint: the
+// caller names any subset of registered models and gets exactly those
+// estimates, through the same admission, caching and singleflight path as
+// /v1.
+func (s *Server) handleV2Analyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.v2Requests.Add(1)
+	var req V2Request
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &req); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	sdkReq, err := req.Prepare(s.analyzer.Registry())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.serveCached(w, r, CanonicalKeyV2(s.analyzer.Registry(), req), func() (*cached, error) {
+		return s.evaluateV2Encoded(sdkReq)
+	})
+}
+
+// handleV2Models lists the registry: canonical names plus accepted
+// aliases, so integrators can discover what /v2/analyze will run.
+func (s *Server) handleV2Models(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	reg := s.analyzer.Registry()
+	var out V2ModelsResponse
+	for _, name := range reg.Names() {
+		out.Models = append(out.Models, V2ModelInfo{Name: name, Aliases: reg.Aliases(name)})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = EncodeJSON(w, out)
+}
+
+// serveCached is the shared single-request serving path of /v1/wcet and
+// /v2/analyze: pre-admission cache probe, admission control, evaluation on
+// the engine's bounded pool, deadline handling.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (*cached, error)) {
 	// Cache hits bypass admission control entirely: they cost a map
 	// lookup, and admission protects solver capacity, not the mux. The
 	// probe counts only hits — if admission rejects this request below,
@@ -389,7 +488,7 @@ func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		defer release()
 		outs := campaign.All(ctx, s.engine, []campaign.Job[*cached]{
 			func(ctx context.Context) (*cached, error) {
-				return s.lookupOrCompute(ctx, key, req)
+				return s.lookupOrCompute(ctx, key, compute)
 			},
 		})
 		ch <- outcome{outs[0].Value, outs[0].Err}
@@ -447,10 +546,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for i := range batch.Requests {
 		req := batch.Requests[i]
 		jobs[i] = func(ctx context.Context) (*cached, error) {
-			if err := req.Validate(); err != nil {
+			if err := req.validate(s.analyzer.Registry()); err != nil {
 				return nil, err
 			}
-			return s.lookupOrCompute(ctx, CanonicalKey(req), req)
+			return s.lookupOrCompute(ctx, canonicalKeyReg(s.analyzer.Registry(), req), func() (*cached, error) {
+				return s.evaluateEncoded(req)
+			})
 		}
 	}
 	ch := make(chan []campaign.Outcome[*cached], 1)
@@ -472,7 +573,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if o.Err != nil {
 			out.Results[i] = BatchItem{Error: o.Err.Error()}
 		} else {
-			out.Results[i] = BatchItem{Response: o.Value.resp}
+			out.Results[i] = BatchItem{Response: o.Value.resp.(*Response)}
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

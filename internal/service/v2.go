@@ -1,0 +1,352 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/dsu"
+	"repro/wcet"
+)
+
+// V2Request is the wire format of POST /v2/analyze: the generic,
+// registry-driven successor of the v1 request. Callers name any subset of
+// registered contention models and get exactly those estimates back, in
+// request order; the input side additionally admits contender templates
+// and exact PTACs so every registered model is reachable over the wire.
+type V2Request struct {
+	Scenario int `json:"scenario"`
+	// Models selects registered models by canonical name or alias; empty
+	// selects the v1 pair ["ftc", "ilpPtac"].
+	Models     []string       `json:"models,omitempty"`
+	Analysed   dsu.Readings   `json:"analysed"`
+	Contenders []dsu.Readings `json:"contenders,omitempty"`
+	// Templates are contender resource-usage contracts (for templatePtac):
+	// pledged per-path request budgets keyed by access path ("pf0/co").
+	Templates []V2Template `json:"templates,omitempty"`
+	// AnalysedPTAC / ContenderPTACs are exact per-target access counts
+	// (for ideal), keyed by access path.
+	AnalysedPTAC   map[string]int64   `json:"analysedPtac,omitempty"`
+	ContenderPTACs []map[string]int64 `json:"contenderPtacs,omitempty"`
+	// StallMode is "budget" (default) or "exact".
+	StallMode string `json:"stallMode,omitempty"`
+	// DropContenderInfo computes the fully time-composable ILP variant.
+	DropContenderInfo bool `json:"dropContenderInfo,omitempty"`
+	// RTA requests a schedulability verdict; unlike v1, Model may name any
+	// model in Models.
+	RTA *RTARequest `json:"rta,omitempty"`
+}
+
+// V2Template is one contender contract in wire form.
+type V2Template struct {
+	Name        string           `json:"name"`
+	MaxRequests map[string]int64 `json:"maxRequests"`
+}
+
+// V2Estimate is one model's bound in v2 wire form: the v1 fields plus the
+// canonical registry name the caller selected it by.
+type V2Estimate struct {
+	Name             string  `json:"name"`
+	Model            string  `json:"model"`
+	IsolationCycles  int64   `json:"isolationCycles"`
+	ContentionCycles int64   `json:"contentionCycles"`
+	WCETCycles       int64   `json:"wcetCycles"`
+	Ratio            float64 `json:"ratio"`
+}
+
+// V2Response is the wire format of a /v2/analyze reply: the selected
+// models' estimates in request order.
+type V2Response struct {
+	Estimates []V2Estimate `json:"estimates"`
+	RTA       *RTAOut      `json:"rta,omitempty"`
+}
+
+// V2ModelInfo describes one registered model in GET /v2/models.
+type V2ModelInfo struct {
+	Name    string   `json:"name"`
+	Aliases []string `json:"aliases,omitempty"`
+}
+
+// V2ModelsResponse is the wire format of GET /v2/models.
+type V2ModelsResponse struct {
+	Models []V2ModelInfo `json:"models"`
+}
+
+// toSDK maps the v2 wire request onto the SDK facade's request, resolving
+// wire-level encodings (scenario number, stall-mode string, access-path
+// keys). Model names are resolved later by the analyzer so the error
+// lists the serving registry's models.
+func (r V2Request) toSDK() (wcet.Request, error) {
+	sc, err := scenario(r.Scenario)
+	if err != nil {
+		return wcet.Request{}, err
+	}
+	mode, err := stallMode(r.StallMode)
+	if err != nil {
+		return wcet.Request{}, err
+	}
+	out := wcet.Request{
+		Analysed:          r.Analysed,
+		Contenders:        r.Contenders,
+		Scenario:          sc,
+		StallMode:         mode,
+		DropContenderInfo: r.DropContenderInfo,
+		Models:            r.Models,
+	}
+	if len(out.Models) == 0 {
+		out.Models = v1Models[:]
+	}
+	for i, tp := range r.Templates {
+		budgets, err := parsePTAC(tp.MaxRequests)
+		if err != nil {
+			return wcet.Request{}, fmt.Errorf("templates[%d] (%s): %w", i, tp.Name, err)
+		}
+		out.Templates = append(out.Templates, wcet.Template{Name: tp.Name, MaxRequests: budgets})
+	}
+	if r.AnalysedPTAC != nil {
+		p, err := parsePTAC(r.AnalysedPTAC)
+		if err != nil {
+			return wcet.Request{}, fmt.Errorf("analysedPtac: %w", err)
+		}
+		out.AnalysedPTAC = p
+	}
+	for i, m := range r.ContenderPTACs {
+		p, err := parsePTAC(m)
+		if err != nil {
+			return wcet.Request{}, fmt.Errorf("contenderPtacs[%d]: %w", i, err)
+		}
+		out.ContenderPTACs = append(out.ContenderPTACs, p)
+	}
+	if r.RTA != nil {
+		out.RTA = &wcet.RTASpec{
+			Model:  r.RTA.Model,
+			Task:   toRTATask(r.RTA.Task),
+			Others: make([]wcet.RTATask, len(r.RTA.Others)),
+		}
+		for i, o := range r.RTA.Others {
+			out.RTA.Others[i] = toRTATask(o)
+		}
+	}
+	return out, nil
+}
+
+// parsePTAC decodes a wire PTAC map ("pf0/co" keys) into the SDK form,
+// rejecting negative counts so they fail pre-admission, not in the solver.
+func parsePTAC(m map[string]int64) (wcet.PTAC, error) {
+	out := make(wcet.PTAC, len(m))
+	for k, v := range m {
+		path, err := wcet.ParseAccessPath(k)
+		if err != nil {
+			return nil, err
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative count %d for %s", v, k)
+		}
+		out[path] = v
+	}
+	return out, nil
+}
+
+// Prepare validates the wire request and converts it to the SDK form in
+// one pass, so the serving hot path parses templates and PTAC maps exactly
+// once. It rejects before admission: wire-encoding errors (unknown
+// scenario, stall mode, access path, negative PTAC or template counts),
+// unknown model names (listing the registered set), an rta.model outside
+// the selected model set, and impossible readings. Model-specific input
+// requirements (e.g. templatePtac with no templates) are the models' own
+// errors and surface at evaluation time — the service cannot know them
+// for arbitrary registered models.
+func (r V2Request) Prepare(reg *wcet.Registry) (wcet.Request, error) {
+	out, err := r.toSDK()
+	if err != nil {
+		return wcet.Request{}, err
+	}
+	if err := r.Analysed.Validate(); err != nil {
+		return wcet.Request{}, fmt.Errorf("analysed readings: %w", err)
+	}
+	for i, b := range r.Contenders {
+		if err := b.Validate(); err != nil {
+			return wcet.Request{}, fmt.Errorf("contender %d readings: %w", i, err)
+		}
+	}
+	for i, tp := range out.Templates {
+		if err := tp.Validate(); err != nil {
+			return wcet.Request{}, fmt.Errorf("templates[%d] (%s): %w", i, tp.Name, err)
+		}
+	}
+	selected := make(map[string]bool, len(out.Models))
+	for _, name := range out.Models {
+		// An explicit empty entry would silently resolve to the registry's
+		// ilpPtac default — reject it; omitting "models" entirely is how
+		// callers ask for the default pair.
+		if name == "" {
+			return wcet.Request{}, fmt.Errorf(`models entries must be non-empty (omit "models" for the default pair)`)
+		}
+		canon, err := reg.Canonical(name)
+		if err != nil {
+			return wcet.Request{}, err
+		}
+		// Reject rather than silently collapse: the wire contract promises
+		// exactly the selected estimates in request order, and a client
+		// zipping its list against the response by index would misread a
+		// deduplicated reply.
+		if selected[canon] {
+			return wcet.Request{}, fmt.Errorf("duplicate model selection %q (canonical %s)", name, canon)
+		}
+		selected[canon] = true
+	}
+	if r.RTA != nil {
+		canon, err := reg.Canonical(r.RTA.Model)
+		if err != nil {
+			return wcet.Request{}, fmt.Errorf("rta.model: %w", err)
+		}
+		if !selected[canon] {
+			return wcet.Request{}, fmt.Errorf("rta.model %s is not among the requested models", canon)
+		}
+		for i, o := range r.RTA.Others {
+			if o.WCETCycles <= 0 {
+				return wcet.Request{}, fmt.Errorf("rta.others[%d] (%s): wcetCycles must be positive", i, o.Name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Validate rejects malformed v2 requests; see Prepare for the checks.
+func (r V2Request) Validate(reg *wcet.Registry) error {
+	_, err := r.Prepare(reg)
+	return err
+}
+
+// EvaluateV2 runs the selected models (and the optional RTA step) on one
+// v2 request through an analyzer. Like Evaluate it is a pure function of
+// the request; the daemon calls it per cache miss.
+func EvaluateV2(an *wcet.Analyzer, req V2Request) (*V2Response, error) {
+	sdkReq, err := req.Prepare(an.Registry())
+	if err != nil {
+		return nil, err
+	}
+	return evaluateV2Prepared(an, sdkReq)
+}
+
+// evaluateV2Prepared runs an already-validated, already-converted request —
+// the daemon's miss path, where Prepare ran before admission.
+func evaluateV2Prepared(an *wcet.Analyzer, sdkReq wcet.Request) (*V2Response, error) {
+	res, err := an.Analyze(context.Background(), sdkReq)
+	if err != nil {
+		return nil, err
+	}
+	out := &V2Response{Estimates: make([]V2Estimate, len(res.Estimates))}
+	for i, e := range res.Estimates {
+		out.Estimates[i] = V2Estimate{
+			Name:             e.Name,
+			Model:            e.Model,
+			IsolationCycles:  e.IsolationCycles,
+			ContentionCycles: e.ContentionCycles,
+			WCETCycles:       e.WCET(),
+			Ratio:            e.Ratio(),
+		}
+	}
+	if res.RTA != nil {
+		out.RTA = toRTAOut(res.RTA)
+	}
+	return out, nil
+}
+
+// CanonicalKeyV2 content-addresses a v2 request for the server's result
+// cache. It builds on the v1 canonicalization (normalized defaults,
+// contender order canonicalized) and extends it with the selected model
+// list (order kept — it is the response order), templates and PTACs.
+// Model names — the selected list and rta.model alike — are canonicalized
+// against the registry so alias spellings of the same request share an
+// entry; template and contender-PTAC order is canonicalized like the
+// contender set (every model is permutation-invariant in them).
+func CanonicalKeyV2(reg *wcet.Registry, req V2Request) string {
+	base := canonicalKeyReg(reg, Request{
+		Scenario:          req.Scenario,
+		Analysed:          req.Analysed,
+		Contenders:        req.Contenders,
+		StallMode:         req.StallMode,
+		DropContenderInfo: req.DropContenderInfo,
+		RTA:               req.RTA,
+	})
+
+	models := req.Models
+	if len(models) == 0 {
+		models = v1Models[:]
+	}
+	canon := make([]string, len(models))
+	for i, m := range models {
+		c, err := reg.Canonical(m)
+		if err != nil {
+			// Unknown names never reach the cache (Validate rejects them
+			// first); keep the raw spelling so the key stays total.
+			c = m
+		}
+		canon[i] = c
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "v2;%s;models=%s", base, strings.Join(canon, ","))
+	tps := make([]string, len(req.Templates))
+	for i, tp := range req.Templates {
+		tps[i] = fmt.Sprintf("%q:%s", tp.Name, canonWirePTAC(tp.MaxRequests))
+	}
+	sort.Strings(tps)
+	for _, tp := range tps {
+		fmt.Fprintf(&b, ";tp=%s", tp)
+	}
+	if req.AnalysedPTAC != nil {
+		fmt.Fprintf(&b, ";pa=%s", canonWirePTAC(req.AnalysedPTAC))
+	}
+	pbs := make([]string, len(req.ContenderPTACs))
+	for i, p := range req.ContenderPTACs {
+		pbs[i] = canonWirePTAC(p)
+	}
+	sort.Strings(pbs)
+	for _, p := range pbs {
+		fmt.Fprintf(&b, ";pb=%s", p)
+	}
+	return hashKey(b.String())
+}
+
+// DecodeV2Request reads one JSON v2 request with the service's strict
+// decode policy.
+func DecodeV2Request(r io.Reader) (V2Request, error) {
+	var req V2Request
+	if err := decodeStrict(r, &req); err != nil {
+		return V2Request{}, err
+	}
+	return req, nil
+}
+
+// RunCLIV2 is cmd/wcet's -models behaviour: decode one v2-shaped request,
+// override its model selection with the flag's list when one was given,
+// evaluate through the default analyzer and write the v2 response — the
+// same three calls wcetd's /v2/analyze serves, so CLI and daemon emit
+// byte-identical JSON in v2 mode too.
+func RunCLIV2(in io.Reader, out io.Writer, models []string) error {
+	req, err := DecodeV2Request(in)
+	if err != nil {
+		return err
+	}
+	if len(models) > 0 {
+		req.Models = models
+	}
+	resp, err := EvaluateV2(defaultAnalyzer, req)
+	if err != nil {
+		return err
+	}
+	return EncodeJSON(out, resp)
+}
+
+func canonWirePTAC(m map[string]int64) string {
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # wcetd smoke test: start the daemon, POST one single and one batch
-# request, assert 200 + expected fields on both plus live stats, then
+# request, assert 200 + expected fields on both, POST a /v2/analyze
+# request selecting a single model and assert exactly that model's
+# estimate comes back, check live stats and the /v2/models listing, then
 # SIGTERM and assert a clean (exit 0, drained) shutdown.
 #
 # `make serve-smoke` and CI's wcetd-smoke job both run exactly this.
@@ -66,6 +68,34 @@ if echo "$batch" | grep -q '"error"'; then
   echo "$batch" >&2
   exit 1
 fi
+
+echo "serve-smoke: v2 single-model selection"
+v2=$(curl -fsS -X POST "http://$ADDR/v2/analyze" -d '{
+  "scenario": 1,
+  "models": ["ftcFsb"],
+  "analysed":   {"CCNT": 157800, "PS": 18000, "DS": 27000, "PM": 3000},
+  "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
+}')
+echo "$v2" | grep -q '"estimates"'
+echo "$v2" | grep -q '"name": "ftcFsb"'
+echo "$v2" | grep -q '"wcetCycles"'
+# Only the selected model may be present.
+if echo "$v2" | grep -q '"name": "ilpPtac"'; then
+  echo "serve-smoke: /v2/analyze returned an unselected model:" >&2
+  echo "$v2" >&2
+  exit 1
+fi
+if [ "$(echo "$v2" | grep -c '"name":')" -ne 1 ]; then
+  echo "serve-smoke: /v2/analyze returned more than the one selected model:" >&2
+  echo "$v2" >&2
+  exit 1
+fi
+
+echo "serve-smoke: v2 model listing"
+models=$(curl -fsS "http://$ADDR/v2/models")
+echo "$models" | grep -q '"ftc"'
+echo "$models" | grep -q '"ilpPtac"'
+echo "$models" | grep -q '"templatePtac"'
 
 echo "serve-smoke: stats"
 stats=$(curl -fsS "http://$ADDR/v1/stats")

@@ -1,0 +1,421 @@
+package wcet
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rta"
+)
+
+// Analyzer is the SDK facade: it fixes a registry, platform, scenario,
+// default model set, optional estimate cache and fan-out width once, and
+// Analyze then composes validation, concurrent model evaluation and an
+// optional response-time-analysis verdict per request. An Analyzer is
+// immutable after construction and safe for concurrent use.
+type Analyzer struct {
+	reg    *Registry
+	lat    LatencyTable
+	sc     Scenario
+	models []string // canonical, resolved at construction
+	conc   int
+	cache  *estimateCache
+}
+
+// Option configures an Analyzer.
+type Option func(*Analyzer) error
+
+// WithRegistry selects the model registry; the default is the shared
+// DefaultRegistry.
+func WithRegistry(reg *Registry) Option {
+	return func(a *Analyzer) error {
+		if reg == nil {
+			return fmt.Errorf("wcet: WithRegistry(nil)")
+		}
+		a.reg = reg
+		return nil
+	}
+}
+
+// WithPlatform selects a named built-in platform characterisation.
+// Currently "tc27x" (the default) is defined; the option exists so new
+// platforms are a name, not an API change.
+func WithPlatform(name string) Option {
+	return func(a *Analyzer) error {
+		switch name {
+		case "tc27x":
+			a.lat = TC27x()
+			return nil
+		default:
+			return fmt.Errorf("wcet: unknown platform %q (known: tc27x)", name)
+		}
+	}
+}
+
+// WithLatencyTable supplies a custom platform characterisation — a
+// re-measured silicon revision, a perturbed what-if table, another SoC.
+func WithLatencyTable(lat LatencyTable) Option {
+	return func(a *Analyzer) error {
+		if err := lat.Validate(); err != nil {
+			return err
+		}
+		a.lat = lat
+		return nil
+	}
+}
+
+// WithScenario fixes the deployment-scenario tailoring; the default is
+// Scenario1. Requests may override it per call.
+func WithScenario(sc Scenario) Option {
+	return func(a *Analyzer) error {
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		a.sc = sc
+		return nil
+	}
+}
+
+// WithModels fixes the default model set (canonical names or aliases),
+// evaluated in the given order; alias-equivalent duplicates collapse to
+// one entry. Requests may override it per call.
+func WithModels(names ...string) Option {
+	return func(a *Analyzer) error {
+		if len(names) == 0 {
+			return fmt.Errorf("wcet: WithModels needs at least one model")
+		}
+		a.models = names
+		return nil
+	}
+}
+
+// WithCache gives the Analyzer an LRU of the given capacity over
+// (model, input) estimates, so identical cells across repeated analyses
+// cost a map lookup instead of a solve.
+func WithCache(entries int) Option {
+	return func(a *Analyzer) error {
+		if entries <= 0 {
+			return fmt.Errorf("wcet: WithCache needs a positive capacity, got %d", entries)
+		}
+		a.cache = newEstimateCache(entries)
+		return nil
+	}
+}
+
+// WithConcurrency caps how many models evaluate in parallel per Analyze
+// call; the default is GOMAXPROCS.
+func WithConcurrency(n int) Option {
+	return func(a *Analyzer) error {
+		if n <= 0 {
+			return fmt.Errorf("wcet: WithConcurrency needs a positive width, got %d", n)
+		}
+		a.conc = n
+		return nil
+	}
+}
+
+// NewAnalyzer builds an Analyzer. Without options it analyses on the
+// TC27x under Scenario 1 with the paper's two headline models, fTC and
+// ILP-PTAC — the historical behaviour of the v1 service and CLI.
+func NewAnalyzer(opts ...Option) (*Analyzer, error) {
+	a := &Analyzer{
+		lat:    TC27x(),
+		sc:     Scenario1(),
+		models: []string{"ftc", "ilpPtac"},
+		conc:   runtime.GOMAXPROCS(0),
+	}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	if a.reg == nil {
+		a.reg = DefaultRegistry()
+	}
+	// Resolve the default model set now so a misconfigured Analyzer fails
+	// at construction, not on the first request.
+	canonical, err := a.canonicalModels(a.models)
+	if err != nil {
+		return nil, err
+	}
+	a.models = canonical
+	return a, nil
+}
+
+// MustNewAnalyzer is NewAnalyzer for known-good option sets.
+func MustNewAnalyzer(opts ...Option) *Analyzer {
+	a, err := NewAnalyzer(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Registry exposes the analyzer's registry (for listing models).
+func (a *Analyzer) Registry() *Registry { return a.reg }
+
+// Models returns the default model set, canonical, in evaluation order.
+func (a *Analyzer) Models() []string { return append([]string(nil), a.models...) }
+
+// CacheStats reports the estimate cache's cumulative hits and misses
+// (zeros when no cache was configured).
+func (a *Analyzer) CacheStats() (hits, misses int64) {
+	if a.cache == nil {
+		return 0, 0
+	}
+	return a.cache.stats()
+}
+
+// canonicalModels resolves names to canonical form, preserving order and
+// dropping duplicates.
+func (a *Analyzer) canonicalModels(names []string) ([]string, error) {
+	out := make([]string, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		canon, err := a.reg.Canonical(n)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[canon] {
+			seen[canon] = true
+			out = append(out, canon)
+		}
+	}
+	return out, nil
+}
+
+// Request is one analysis: what was measured (or pledged), which models to
+// run, and the optional schedulability question.
+type Request struct {
+	// Analysed is the analysed task's isolation measurement.
+	Analysed Readings
+	// Contenders holds the contenders' isolation measurements.
+	Contenders []Readings
+	// Templates holds contender resource-usage contracts (templatePtac).
+	Templates []Template
+	// AnalysedPTAC / ContenderPTACs are exact per-target access counts
+	// (ideal).
+	AnalysedPTAC   PTAC
+	ContenderPTACs []PTAC
+	// Scenario overrides the Analyzer's deployment scenario when non-zero
+	// (any name, placement or flag set); leave it zero to analyse under
+	// the Analyzer's default.
+	Scenario Scenario
+	// StallMode and DropContenderInfo tune the ILP-based models.
+	StallMode         StallMode
+	DropContenderInfo bool
+	// Models overrides the Analyzer's model set when non-empty (canonical
+	// names or aliases, evaluated in order). Alias-equivalent duplicates
+	// collapse to one entry, so Estimates can be shorter than Models —
+	// look results up with Result.Estimate rather than zipping by index.
+	// (The /v2 wire API rejects duplicates instead.)
+	Models []string
+	// RTA, when non-nil, additionally asks for a response-time-analysis
+	// verdict using one computed bound as the analysed task's WCET.
+	RTA *RTASpec
+}
+
+// RTASpec asks for a fixed-priority schedulability verdict on the analysed
+// task's core.
+type RTASpec struct {
+	// Model selects which computed bound becomes the analysed task's WCET
+	// (canonical name or alias; empty selects ilpPtac). It must be among
+	// the request's models.
+	Model string
+	// Task is the analysed task's timing parameters; its WCET field is
+	// filled from the selected model's bound. An empty Name becomes
+	// "analysed".
+	Task RTATask
+	// Others are the co-resident tasks with their own contention-aware
+	// WCETs.
+	Others []RTATask
+}
+
+// ModelEstimate is one model's bound, labelled with its canonical registry
+// name (Estimate.Model keeps the model's display name).
+type ModelEstimate struct {
+	// Name is the canonical registry name ("ftc", "ilpPtac", ...).
+	Name string
+	Estimate
+}
+
+// RTAVerdict is the schedulability outcome for the analysed task's core.
+type RTAVerdict struct {
+	// Model is the canonical name of the bound used as the analysed
+	// task's WCET; WCETCycles is its value.
+	Model      string
+	WCETCycles int64
+	// Utilization is Σ C_i / T_i over the whole task set.
+	Utilization float64
+	// Schedulable reports whether every task meets its deadline.
+	Schedulable bool
+	Results     []RTAResult
+}
+
+// Result is one analysis outcome: the requested models' bounds in request
+// order, plus the RTA verdict when one was asked for.
+type Result struct {
+	Estimates []ModelEstimate
+	RTA       *RTAVerdict
+}
+
+// Estimate returns the bound a model produced in this result, looked up by
+// canonical name.
+func (r *Result) Estimate(canonical string) (Estimate, bool) {
+	for _, e := range r.Estimates {
+		if e.Name == canonical {
+			return e.Estimate, true
+		}
+	}
+	return Estimate{}, false
+}
+
+// Analyze validates the request, fans the selected models out across the
+// configured concurrency, and (when asked) derives the RTA verdict from
+// the selected bound. Estimates come back in model order regardless of
+// completion order; the first model error fails the call, labelled with
+// the model's name.
+func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
+	names := a.models
+	if len(req.Models) > 0 {
+		var err error
+		if names, err = a.canonicalModels(req.Models); err != nil {
+			return nil, err
+		}
+	}
+	sc := a.sc
+	if !scenarioIsZero(req.Scenario) {
+		sc = req.Scenario
+	}
+	in := Input{
+		Analysed:          req.Analysed,
+		Contenders:        req.Contenders,
+		Templates:         req.Templates,
+		AnalysedPTAC:      req.AnalysedPTAC,
+		ContenderPTACs:    req.ContenderPTACs,
+		Latencies:         &a.lat,
+		Scenario:          sc,
+		StallMode:         req.StallMode,
+		DropContenderInfo: req.DropContenderInfo,
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+
+	estimates, err := a.fanOut(ctx, names, in)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Estimates: estimates}
+	if req.RTA != nil {
+		verdict, err := a.analyzeRTA(*req.RTA, res)
+		if err != nil {
+			return nil, err
+		}
+		res.RTA = verdict
+	}
+	return res, nil
+}
+
+// scenarioIsZero reports whether a request carries no scenario override:
+// an unnamed scenario with a custom deployment or flag still counts as
+// one — silently swapping in the default would bound the wrong system.
+func scenarioIsZero(sc Scenario) bool {
+	return sc.Name == "" && len(sc.Deploy.Code) == 0 && len(sc.Deploy.Data) == 0 &&
+		!sc.CodeCountExact && !sc.CacheableDataFloor
+}
+
+// fanOut evaluates the models concurrently, bounded by the configured
+// width, consulting the estimate cache around each solve.
+func (a *Analyzer) fanOut(ctx context.Context, names []string, in Input) ([]ModelEstimate, error) {
+	out := make([]ModelEstimate, len(names))
+	errs := make([]error, len(names))
+	sem := make(chan struct{}, a.conc)
+	var wg sync.WaitGroup
+	for i, name := range names {
+		model, err := a.reg.Resolve(name)
+		if err != nil {
+			// The set was canonicalized against the same registry; a miss
+			// here means the model was unregistered mid-flight.
+			return nil, err
+		}
+		wg.Add(1)
+		go func(i int, name string, model ContentionModel) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			est, err := a.estimateCached(ctx, name, model, in)
+			if err != nil {
+				errs[i] = fmt.Errorf("wcet: model %s: %w", name, err)
+				return
+			}
+			out[i] = ModelEstimate{Name: name, Estimate: est}
+		}(i, name, model)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// estimateCached wraps one model evaluation with the optional LRU.
+func (a *Analyzer) estimateCached(ctx context.Context, name string, model ContentionModel, in Input) (Estimate, error) {
+	if a.cache == nil {
+		return model.Estimate(ctx, in)
+	}
+	key := canonKey(name, in)
+	if est, ok := a.cache.get(key); ok {
+		return est, nil
+	}
+	est, err := model.Estimate(ctx, in)
+	if err != nil {
+		return Estimate{}, err
+	}
+	a.cache.put(key, est)
+	return est, nil
+}
+
+// analyzeRTA runs response-time analysis with the analysed task's WCET
+// taken from the selected model's bound.
+func (a *Analyzer) analyzeRTA(spec RTASpec, res *Result) (*RTAVerdict, error) {
+	canon, err := a.reg.Canonical(spec.Model)
+	if err != nil {
+		return nil, fmt.Errorf("rta.model: %w", err)
+	}
+	est, ok := res.Estimate(canon)
+	if !ok {
+		return nil, fmt.Errorf("wcet: rta.model %s is not among the requested models", canon)
+	}
+	wcet := est.WCET()
+
+	analysed := spec.Task
+	if analysed.Name == "" {
+		analysed.Name = "analysed"
+	}
+	analysed.WCET = wcet
+	tasks := make([]RTATask, 0, 1+len(spec.Others))
+	tasks = append(tasks, analysed)
+	tasks = append(tasks, spec.Others...)
+	results, err := rta.Analyze(tasks)
+	if err != nil {
+		return nil, fmt.Errorf("rta: %w", err)
+	}
+
+	verdict := &RTAVerdict{
+		Model:       canon,
+		WCETCycles:  wcet,
+		Utilization: rta.Utilization(tasks),
+		Schedulable: true,
+		Results:     results,
+	}
+	for _, r := range results {
+		if !r.Schedulable {
+			verdict.Schedulable = false
+		}
+	}
+	return verdict, nil
+}

@@ -1,0 +1,85 @@
+package wcet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// canonKey content-addresses one (model, input) evaluation for the
+// Analyzer's estimate cache: two evaluations share a key iff the model is
+// guaranteed to produce the same estimate for both. Unlike the serving
+// layer's request keys, the platform characterisation is part of the key —
+// experiment sweeps evaluate the same readings on perturbed tables.
+//
+// Contender order is canonicalized (all built-in models are
+// permutation-invariant in the contender set); template and PTAC order
+// follows the same argument.
+func canonKey(model string, in Input) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "m=%s;sc=%s;mode=%s;drop=%t;lat=%s;a=%s",
+		model, canonScenario(in.Scenario), in.StallMode, in.DropContenderInfo,
+		canonLatencies(in.Latencies), canonReadings(in.Analysed))
+
+	b.WriteString(";b=")
+	b.WriteString(canonSorted(in.Contenders, canonReadings))
+	b.WriteString(";tp=")
+	b.WriteString(canonSorted(in.Templates, canonTemplate))
+	if in.AnalysedPTAC != nil {
+		b.WriteString(";pa=")
+		b.WriteString(canonPTAC(in.AnalysedPTAC))
+	}
+	b.WriteString(";pb=")
+	b.WriteString(canonSorted(in.ContenderPTACs, canonPTAC))
+
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// canonSorted renders each element and joins them order-insensitively.
+func canonSorted[T any](xs []T, render func(T) string) string {
+	ss := make([]string, len(xs))
+	for i, x := range xs {
+		ss[i] = render(x)
+	}
+	sort.Strings(ss)
+	return strings.Join(ss, "|")
+}
+
+// canonScenario renders the tailoring by content, not by label — custom
+// scenarios may share a Name (or have none) yet differ in deployment or
+// counter-interpretation flags, and those differences change the bounds.
+func canonScenario(sc Scenario) string {
+	return fmt.Sprintf("%q/%s/cce=%t/cdf=%t", sc.Name, sc.Deploy, sc.CodeCountExact, sc.CacheableDataFloor)
+}
+
+func canonReadings(r Readings) string {
+	return fmt.Sprintf("c%d,ps%d,ds%d,pm%d,mc%d,md%d", r.CCNT, r.PS, r.DS, r.PM, r.DMC, r.DMD)
+}
+
+func canonLatencies(lat *LatencyTable) string {
+	var b strings.Builder
+	for _, to := range AccessPaths() {
+		l, err := lat.Lookup(to.Target, to.Op)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%s:%d/%d/%d;", to, l.Max, l.Min, l.Stall)
+	}
+	return b.String()
+}
+
+func canonPTAC(p PTAC) string {
+	parts := make([]string, 0, len(p))
+	for to, n := range p {
+		parts = append(parts, fmt.Sprintf("%s=%d", to, n))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func canonTemplate(tp Template) string {
+	return fmt.Sprintf("%q:%s", tp.Name, canonPTAC(tp.MaxRequests))
+}

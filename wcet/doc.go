@@ -1,0 +1,63 @@
+// Package wcet is the public SDK for the repository's multicore-contention
+// analysis: the stable, versioned surface through which OEM and
+// software-provider toolchains integrate the paper's contention models
+// (DiazMKAC18) without depending on internal packages.
+//
+// The package inverts the dependency direction of the rest of the module:
+// contention models are plugins behind one interface, and the serving,
+// CLI and experiment layers are generic over a model registry. Adding a
+// model or platform is a registration, not a cross-cutting edit.
+//
+// # Concepts
+//
+// A [ContentionModel] turns an [Input] — the analysed task's isolation
+// debug-counter readings, its contenders' readings (or resource-usage
+// templates, or exact per-target access counts), the platform latency
+// characterisation and the deployment scenario — into an [Estimate]: a
+// contention-aware WCET bound.
+//
+// A [Registry] holds named models. [DefaultRegistry] ships with the
+// paper's models pre-registered under canonical names with aliases:
+//
+//	ftc           fully time-composable bound (Eq. 2-8)
+//	ilpPtac       partially time-composable ILP bound (Eq. 9-23)
+//	ftcFsb        fTC under the front-side-bus collapse (§4.3)
+//	templatePtac  ILP bound against contender resource-usage templates
+//	ideal         reference bound from exact PTACs (Eq. 1); a validation
+//	              oracle, not obtainable from the TC27x DSU
+//
+// An [Analyzer] is the facade the other layers build on: functional
+// options fix the platform, scenario, model set, cache and concurrency
+// once, and [Analyzer.Analyze] then composes validation, model fan-out
+// and an optional response-time-analysis verdict in one call.
+//
+// # Quick use
+//
+//	an, err := wcet.NewAnalyzer(wcet.WithModels("ftc", "ilpPtac"))
+//	...
+//	res, err := an.Analyze(ctx, wcet.Request{
+//		Analysed:   taskReadings,
+//		Contenders: []wcet.Readings{contenderReadings},
+//	})
+//	for _, e := range res.Estimates {
+//		fmt.Println(e.Name, e.WCET())
+//	}
+//
+// # Extending
+//
+// Register a custom model (a new bound, a different platform's
+// arbitration, a vendor-specific refinement) and every consumer of the
+// registry — the wcetd /v2/analyze endpoint, the campaign engine's sweep
+// grids, the CLI — can run it by name with no changes to those layers:
+//
+//	reg := wcet.NewDefaultRegistry()
+//	err := reg.Register(myModel, "myAlias")
+//	an, err := wcet.NewAnalyzer(wcet.WithRegistry(reg), wcet.WithModels("myModel"))
+//
+// # Versioning
+//
+// This package is the compatibility boundary: the /v1 HTTP API and the
+// cmd/wcet CLI's default output are frozen (golden-tested byte-identical),
+// while /v2 exposes the registry's full model set. Internal packages may
+// change freely underneath.
+package wcet

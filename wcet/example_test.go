@@ -1,0 +1,49 @@
+package wcet_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/wcet"
+)
+
+// Example walks the SDK's whole surface in one pre-integration analysis: a
+// software provider holds isolation debug-counter readings for its task
+// and for the announced co-runner, asks the facade for two bounds and a
+// schedulability verdict, and reads the results by model name.
+func Example() {
+	an, err := wcet.NewAnalyzer(
+		wcet.WithPlatform("tc27x"),
+		wcet.WithScenario(wcet.Scenario1()),
+		wcet.WithModels("ftc", "ilpPtac"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := an.Analyze(context.Background(), wcet.Request{
+		Analysed:   wcet.Readings{CCNT: 157800, PS: 18000, DS: 27000, PM: 3000},
+		Contenders: []wcet.Readings{{CCNT: 500000, PS: 50000, DS: 60000, PM: 8000}},
+		RTA: &wcet.RTASpec{
+			Model: "ilpPtac",
+			Task:  wcet.RTATask{Name: "airbagCtl", Period: 2_000_000, Priority: 2},
+			Others: []wcet.RTATask{
+				{Name: "cruiseCtl", WCET: 50_000, Period: 500_000, Priority: 1},
+			},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, e := range res.Estimates {
+		fmt.Printf("%-7s wcet %d cycles (x%.2f of isolation)\n", e.Name, e.WCET(), e.Ratio())
+	}
+	fmt.Printf("schedulable with the %s bound: %t\n", res.RTA.Model, res.RTA.Schedulable)
+
+	// Output:
+	// ftc     wcet 321900 cycles (x2.04 of isolation)
+	// ilpPtac wcet 235500 cycles (x1.49 of isolation)
+	// schedulable with the ilpPtac bound: true
+}

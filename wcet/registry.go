@@ -1,0 +1,185 @@
+package wcet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a concurrency-safe set of named contention models. Models
+// register once under their canonical name plus optional aliases;
+// consumers resolve any of those spellings back to the model. All methods
+// are safe for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string]ContentionModel // canonical name -> model
+	names  map[string]string          // every accepted spelling -> canonical name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		models: make(map[string]ContentionModel),
+		names:  make(map[string]string),
+	}
+}
+
+// NewDefaultRegistry returns a fresh registry with the paper's models
+// registered: ftc, ilpPtac, ftcFsb, templatePtac and ideal, each with its
+// display-name alias ("fTC", "ILP-PTAC", ...).
+func NewDefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.MustRegister(ftcModel(), "fTC", "FTC")
+	r.MustRegister(ilpPtacModel(), "ILP-PTAC", "ilp-ptac")
+	r.MustRegister(ftcFsbModel(), "fTC-FSB", "ftc-fsb")
+	r.MustRegister(templatePtacModel(), "ILP-PTAC-template", "ilpPtacTemplate")
+	r.MustRegister(idealModel(), "Ideal")
+	return r
+}
+
+// defaultRegistry backs DefaultRegistry. One shared instance lets the
+// daemon, the CLI and the experiment runner agree on the model set by
+// default.
+var (
+	defaultRegistryOnce sync.Once
+	defaultRegistry     *Registry
+)
+
+// DefaultRegistry returns the shared process-wide registry, created with
+// the built-in models on first use. Registering application models into it
+// makes them visible to every default-configured Analyzer, server and
+// experiment grid in the process.
+func DefaultRegistry() *Registry {
+	defaultRegistryOnce.Do(func() { defaultRegistry = NewDefaultRegistry() })
+	return defaultRegistry
+}
+
+// Register adds m under its canonical name plus the given aliases. It
+// fails if any spelling (canonical or alias) is already taken — silent
+// replacement would let one layer's "ftc" quietly differ from another's.
+func (r *Registry) Register(m ContentionModel, aliases ...string) error {
+	name := m.Name()
+	if name == "" {
+		return fmt.Errorf("wcet: cannot register a model with an empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, 1+len(aliases))
+	for _, spelling := range append([]string{name}, aliases...) {
+		if spelling == "" {
+			return fmt.Errorf("wcet: model %s: empty alias", name)
+		}
+		if !validName(spelling) {
+			return fmt.Errorf("wcet: model %s: name %q contains characters outside [A-Za-z0-9._-]", name, spelling)
+		}
+		if prior, ok := r.names[spelling]; ok {
+			return fmt.Errorf("wcet: name %q already registered (canonical %q)", spelling, prior)
+		}
+		if seen[spelling] {
+			return fmt.Errorf("wcet: model %s: alias %q repeated", name, spelling)
+		}
+		seen[spelling] = true
+	}
+	r.models[name] = m
+	r.names[name] = name
+	for _, a := range aliases {
+		r.names[a] = name
+	}
+	return nil
+}
+
+// validName restricts model names and aliases to [A-Za-z0-9._-]: names are
+// interpolated into cache-key renderings, wire responses and error lists,
+// so separator characters (",", ";", quotes, spaces) would let one name
+// alias another's key segment.
+func validName(s string) bool {
+	for _, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// MustRegister is Register for startup-time registration of known-good
+// models; it panics on conflict.
+func (r *Registry) MustRegister(m ContentionModel, aliases ...string) {
+	if err := r.Register(m, aliases...); err != nil {
+		panic(err)
+	}
+}
+
+// Resolve maps any registered spelling (canonical name or alias) to its
+// model. An empty name resolves to ilpPtac when registered — the paper's
+// recommended bound and the historical wire default. Unknown names error
+// with the full registered set, so a typo in a request or a grid is
+// self-diagnosing.
+func (r *Registry) Resolve(name string) (ContentionModel, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	canon, ok := r.names[r.normalize(name)]
+	if !ok {
+		return nil, r.unknownLocked(name)
+	}
+	return r.models[canon], nil
+}
+
+// Canonical maps any registered spelling to the canonical model name.
+func (r *Registry) Canonical(name string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	canon, ok := r.names[r.normalize(name)]
+	if !ok {
+		return "", r.unknownLocked(name)
+	}
+	return canon, nil
+}
+
+// normalize applies the empty-name default. Callers hold r.mu.
+func (r *Registry) normalize(name string) string {
+	if name == "" {
+		return "ilpPtac"
+	}
+	return name
+}
+
+// unknownLocked builds the unknown-model error; callers hold r.mu.
+func (r *Registry) unknownLocked(name string) error {
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return fmt.Errorf("wcet: unknown model %q (registered: %s)", name, strings.Join(names, ", "))
+}
+
+// Names returns the canonical model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Aliases returns the alternative spellings registered for a canonical
+// name, sorted (the canonical name itself excluded).
+func (r *Registry) Aliases(canonical string) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for spelling, canon := range r.names {
+		if canon == canonical && spelling != canonical {
+			out = append(out, spelling)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

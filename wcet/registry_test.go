@@ -1,0 +1,156 @@
+package wcet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func toyModel(name string, delta int64) ContentionModel {
+	return NewModel(name, func(_ context.Context, in Input) (Estimate, error) {
+		return Estimate{Model: name, IsolationCycles: in.Analysed.CCNT, ContentionCycles: delta}, nil
+	})
+}
+
+func TestRegistryResolveBuiltins(t *testing.T) {
+	reg := NewDefaultRegistry()
+	for spelling, canonical := range map[string]string{
+		"ftc":               "ftc",
+		"fTC":               "ftc",
+		"ilpPtac":           "ilpPtac",
+		"ILP-PTAC":          "ilpPtac",
+		"ftcFsb":            "ftcFsb",
+		"fTC-FSB":           "ftcFsb",
+		"templatePtac":      "templatePtac",
+		"ILP-PTAC-template": "templatePtac",
+		"ideal":             "ideal",
+		"":                  "ilpPtac", // historical wire default
+	} {
+		m, err := reg.Resolve(spelling)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", spelling, err)
+		}
+		if m.Name() != canonical {
+			t.Errorf("Resolve(%q) = %s, want %s", spelling, m.Name(), canonical)
+		}
+		canon, err := reg.Canonical(spelling)
+		if err != nil || canon != canonical {
+			t.Errorf("Canonical(%q) = %q, %v; want %q", spelling, canon, err, canonical)
+		}
+	}
+}
+
+func TestRegistryUnknownListsRegistered(t *testing.T) {
+	reg := NewDefaultRegistry()
+	_, err := reg.Resolve("nope")
+	if err == nil {
+		t.Fatal("Resolve of unknown model succeeded")
+	}
+	for _, want := range []string{`"nope"`, "ftc", "ilpPtac", "ftcFsb", "templatePtac", "ideal"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-model error %q does not mention %s", err, want)
+		}
+	}
+}
+
+func TestRegistryDuplicateRegistration(t *testing.T) {
+	reg := NewDefaultRegistry()
+	if err := reg.Register(toyModel("ftc", 1)); err == nil {
+		t.Error("re-registering canonical name ftc succeeded")
+	}
+	if err := reg.Register(toyModel("fresh", 1), "fTC"); err == nil {
+		t.Error("registering an alias colliding with existing alias fTC succeeded")
+	}
+	if err := reg.Register(toyModel("", 1)); err == nil {
+		t.Error("registering an empty model name succeeded")
+	}
+	if err := reg.Register(toyModel("toy", 1), "t1", "t1"); err == nil {
+		t.Error("registering duplicate aliases in one call succeeded")
+	}
+	// Names feed cache-key renderings and error lists: separator
+	// characters must be rejected at registration.
+	if err := reg.Register(toyModel("a,b", 1)); err == nil {
+		t.Error("registering a name with a separator character succeeded")
+	}
+	if err := reg.Register(toyModel("toy2", 1), "to y"); err == nil {
+		t.Error("registering an alias with a space succeeded")
+	}
+	// A failed registration must not leave partial spellings behind.
+	if _, err := reg.Resolve("toy"); err == nil {
+		t.Error("failed Register left the model resolvable")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegister on a conflict did not panic")
+		}
+	}()
+	reg.MustRegister(toyModel("ftc", 1))
+}
+
+func TestRegistryNamesAndAliases(t *testing.T) {
+	reg := NewDefaultRegistry()
+	names := reg.Names()
+	want := []string{"ftc", "ftcFsb", "ideal", "ilpPtac", "templatePtac"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Errorf("Names() = %v, want %v", names, want)
+	}
+	aliases := reg.Aliases("ftc")
+	if fmt.Sprint(aliases) != fmt.Sprint([]string{"FTC", "fTC"}) {
+		t.Errorf("Aliases(ftc) = %v", aliases)
+	}
+}
+
+// TestRegistryConcurrent hammers Register, Resolve, Names and Estimate
+// from many goroutines; run under -race this is the registry's
+// thread-safety proof.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewDefaultRegistry()
+	in := Input{
+		Analysed:   Readings{CCNT: 157800, PS: 18000, DS: 27000, PM: 3000},
+		Contenders: []Readings{{CCNT: 500000, PS: 50000, DS: 60000, PM: 8000}},
+		Latencies:  ptr(TC27x()),
+		Scenario:   Scenario1(),
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("toy-%d-%d", g, i)
+				if err := reg.Register(toyModel(name, int64(i)), name+"-alias"); err != nil {
+					t.Errorf("Register(%s): %v", name, err)
+					return
+				}
+				m, err := reg.Resolve(name + "-alias")
+				if err != nil {
+					t.Errorf("Resolve(%s-alias): %v", name, err)
+					return
+				}
+				if _, err := m.Estimate(context.Background(), in); err != nil {
+					t.Errorf("Estimate(%s): %v", name, err)
+					return
+				}
+				ftc, err := reg.Resolve("ftc")
+				if err != nil {
+					t.Errorf("Resolve(ftc): %v", err)
+					return
+				}
+				if _, err := ftc.Estimate(context.Background(), in); err != nil {
+					t.Errorf("ftc.Estimate: %v", err)
+					return
+				}
+				reg.Names()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(reg.Names()); got != 5+8*50 {
+		t.Errorf("after concurrent registration: %d canonical names, want %d", got, 5+8*50)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
