@@ -8,14 +8,24 @@
 //	aurixsim -workload app -scenario 1 -iterations 300
 //	aurixsim -workload app -contender hload          # co-scheduled run
 //	aurixsim -workload mload -bursts 500
+//	aurixsim -emit-readings -accesses 1000           # calibration batch JSON
+//
+// -emit-readings runs the Table-2 calibration microbenchmarks (every
+// access path, prefetch buffers off and on) and prints the raw samples as
+// JSON — the exact payload wcetd's POST /v2/calibrate ingests:
+//
+//	aurixsim -emit-readings | curl -X POST --data-binary @- \
+//	    http://127.0.0.1:8080/v2/calibrate
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/calib"
 	"repro/internal/platform"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -32,10 +42,26 @@ func main() {
 		contender  = flag.String("contender", "", "optional co-runner on core 2: hload, mload, lload")
 		record     = flag.String("record", "", "write the analysed workload's trace to this file and exit")
 		replay     = flag.String("replay", "", "run a previously recorded trace file instead of a generated workload")
+		emit       = flag.Bool("emit-readings", false, "run the calibration microbenchmarks and print the sample batch as JSON (wcetd /v2/calibrate input)")
+		accesses   = flag.Int("accesses", 1000, "with -emit-readings: back-to-back accesses per microbenchmark run")
 	)
 	flag.Parse()
 
 	lat := platform.TC27xLatencies()
+
+	if *emit {
+		batch, err := calib.MeasureBatch(lat, *accesses, 1)
+		if err != nil {
+			fail(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(batch); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	sc := workload.Scenario(*scenario)
 	if err := sc.Validate(); err != nil {
 		fail(err)

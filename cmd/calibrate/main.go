@@ -1,41 +1,166 @@
 // Command calibrate regenerates the paper's Table 2 on the simulated
-// TC27x: for every SRI target it measures, with single-access-type
-// microbenchmarks run in isolation, the end-to-end transaction latency and
-// the minimum pipeline-stall cycles per request, separately for code and
-// data operations.
+// TC27x — for every SRI target the end-to-end transaction latency
+// (max/min) and the minimum pipeline-stall cycles per request, measured
+// with single-access-type microbenchmarks in isolation — and manages the
+// result as a lifecycle artifact: it can emit the table in the store's
+// machine-readable interchange format, register it in a versioned table
+// store, and diff it against a reference characterisation.
 //
 // Usage:
 //
-//	calibrate
+//	calibrate                                   # human-readable Table 2
+//	calibrate -json                             # interchange-format JSON on stdout
+//	calibrate -out table.json                   # write interchange JSON to a file
+//	calibrate -store ./tables -ref tc27x/lab    # register in a store under a ref
+//	calibrate -compare tc27x -tolerance 0.05    # drift report vs the shipped table
+//	calibrate -store ./tables -compare tc27x/prod
+//
+// -compare resolves against the store when -store is given, accepts the
+// builtin name "tc27x", and otherwise reads an interchange-format file.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/experiments"
+	"repro/internal/calib"
 	"repro/internal/platform"
+	"repro/internal/tabstore"
 )
 
 func main() {
+	var (
+		accesses  = flag.Int("accesses", 1000, "back-to-back accesses per microbenchmark run")
+		jsonOut   = flag.Bool("json", false, "emit the calibrated table as interchange-format JSON on stdout")
+		out       = flag.String("out", "", "write the interchange-format JSON to this file")
+		storeDir  = flag.String("store", "", "register the calibrated table in the table store at this directory")
+		ref       = flag.String("ref", "", "with -store: name (or retarget) this ref at the calibrated table")
+		compare   = flag.String("compare", "", "drift report against this reference: a store ref/ID, the builtin \"tc27x\", or an interchange-format file")
+		tolerance = flag.Float64("tolerance", 0, fmt.Sprintf("relative drift tolerance for -compare (0 selects %.2f)", calib.DefaultTolerance))
+	)
 	flag.Parse()
-	lat := platform.TC27xLatencies()
-	rows, err := experiments.CalibrateTable2(lat)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "calibrate:", err)
-		os.Exit(1)
+
+	var store *tabstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = tabstore.Open(*storeDir); err != nil {
+			fail(err)
+		}
+	}
+	if *ref != "" && store == nil {
+		fail(fmt.Errorf("-ref requires -store"))
 	}
 
+	// Measure through the streaming estimator — the same ingestion path
+	// wcetd's /v2/calibrate runs, so CLI and service cannot drift.
+	batch, err := calib.MeasureBatch(platform.TC27xLatencies(), *accesses, 1)
+	if err != nil {
+		fail(err)
+	}
+	eng := calib.New(calib.Config{})
+	if err := eng.Ingest(batch); err != nil {
+		fail(err)
+	}
+	table, err := eng.Table()
+	if err != nil {
+		fail(err)
+	}
+	id := tabstore.TableID(table)
+
+	encoded, err := json.MarshalIndent(tabstore.Encode(table), "", "  ")
+	if err != nil {
+		fail(err)
+	}
+	encoded = append(encoded, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, encoded, 0o644); err != nil {
+			fail(err)
+		}
+	}
+	if *jsonOut {
+		os.Stdout.Write(encoded)
+	} else {
+		printHuman(eng.Report())
+		fmt.Printf("\ntable id: %s\n", id)
+	}
+
+	if store != nil {
+		storedID, err := store.Put(table)
+		if err != nil {
+			fail(err)
+		}
+		if *ref != "" {
+			if err := store.SetRef(*ref, storedID); err != nil {
+				fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "calibrate: registered %s as %s in %s\n", storedID, *ref, *storeDir)
+		} else {
+			fmt.Fprintf(os.Stderr, "calibrate: registered %s in %s\n", storedID, *storeDir)
+		}
+	}
+
+	if *compare != "" {
+		reference, label, err := resolveReference(store, *compare)
+		if err != nil {
+			fail(err)
+		}
+		printDrift(calib.Drift(table, reference, *tolerance), label)
+	}
+}
+
+// resolveReference loads the -compare target: store ref/ID first (when a
+// store is open), then the builtin table, then an interchange file.
+func resolveReference(store *tabstore.Store, spec string) (platform.LatencyTable, string, error) {
+	if store != nil {
+		if lt, id, err := store.Resolve(spec); err == nil {
+			return lt, fmt.Sprintf("%s (%s)", spec, id), nil
+		}
+	}
+	if spec == "tc27x" {
+		return platform.TC27xLatencies(), "builtin tc27x", nil
+	}
+	raw, err := os.ReadFile(spec)
+	if err != nil {
+		return platform.LatencyTable{}, "", fmt.Errorf("compare target %q is neither a store ref, the builtin \"tc27x\", nor a readable file: %w", spec, err)
+	}
+	var tj tabstore.TableJSON
+	if err := json.Unmarshal(raw, &tj); err != nil {
+		return platform.LatencyTable{}, "", fmt.Errorf("parsing %s: %w", spec, err)
+	}
+	lt, err := tabstore.Decode(tj)
+	if err != nil {
+		return platform.LatencyTable{}, "", fmt.Errorf("%s: %w", spec, err)
+	}
+	return lt, spec, nil
+}
+
+// printHuman renders the classic Table 2 view from the engine's report.
+func printHuman(rep calib.Report) {
+	byPath := make(map[string]calib.PathReport, len(rep.Paths))
+	for _, p := range rep.Paths {
+		byPath[p.Path] = p
+	}
 	fmt.Println("Table 2: latency (max/min) and minimum stall cycles per SRI target")
 	fmt.Println("(measured on the simulator with calibration microbenchmarks; lmin with")
 	fmt.Println("the flash prefetch buffers active on a sequential stream)")
 	fmt.Println()
 	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s\n",
 		"target", "lmax(co)", "lmax(da)", "lmin(co)", "lmin(da)", "cs(co)", "cs(da)")
-	for _, r := range rows {
-		fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s\n", r.Target,
-			dash(r.LCo), dash(r.LDa), dash(r.LMinCo), dash(r.LMinDa), dash(r.CsCo), dash(r.CsDa))
+	for _, tgt := range platform.Targets {
+		co, okCo := byPath[platform.TargetOp{Target: tgt, Op: platform.Code}.String()]
+		da, okDa := byPath[platform.TargetOp{Target: tgt, Op: platform.Data}.String()]
+		col := func(ok bool, v int64) string {
+			if !ok || v < 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s\n", tgt,
+			col(okCo, co.LMax), col(okDa, da.LMax),
+			col(okCo, co.LMin), col(okDa, da.LMin),
+			col(okCo, co.Stall), col(okDa, da.Stall))
 	}
 	fmt.Println()
 	fmt.Println("Paper reference (Table 2): lmu lmax 11 lmin 11 cs 11/10;")
@@ -44,9 +169,28 @@ func main() {
 	fmt.Printf("Dirty LMU miss latency (bracketed in the paper): %d cycles\n", platform.TC27xLMUDirtyMissLatency)
 }
 
-func dash(v int64) string {
-	if v < 0 {
-		return "-"
+// printDrift writes to stderr so -json -compare keeps stdout parseable
+// (stdout carries only the interchange-format table).
+func printDrift(rep calib.DriftReport, label string) {
+	verdict := "within tolerance"
+	if rep.Drifted {
+		verdict = "DRIFTED"
 	}
-	return fmt.Sprintf("%d", v)
+	fmt.Fprintf(os.Stderr, "\ndrift vs %s (tolerance %.2f): %s\n", label, rep.Tolerance, verdict)
+	for _, f := range rep.Fields {
+		mark := " "
+		if f.Exceeds {
+			mark = "!"
+		}
+		pct := 100 * f.RelDelta
+		if f.Candidate < f.Reference {
+			pct = -pct
+		}
+		fmt.Fprintf(os.Stderr, "  %s %-8s %-6s %d -> %d (%+.1f%%)\n", mark, f.Path, f.Field, f.Reference, f.Candidate, pct)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
 }

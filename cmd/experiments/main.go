@@ -14,6 +14,8 @@
 //	                               # sweep extra latency-table variants
 //	experiments -only sweep -models ftc,ftcFsb,ilpPtac
 //	                               # sweep any registered contention models
+//	experiments -only sweep -store ./tables -tables tc27x/default,tc27x/respin
+//	                               # sweep stored latency-table versions
 //	experiments -stats             # campaign engine counters on exit
 package main
 
@@ -28,6 +30,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/experiments"
 	"repro/internal/platform"
+	"repro/internal/tabstore"
 	"repro/internal/workload"
 	"repro/wcet"
 )
@@ -37,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "campaign worker-pool width; 0 means all cores")
 	perturb := flag.String("perturb", "", "extra sweep latency perturbations, comma-separated name:±pct (e.g. slow10:+10,fast10:-10)")
 	models := flag.String("models", "", "sweep these registered contention models, comma-separated (default ilpPtac,ftc)")
+	tables := flag.String("tables", "", "sweep these stored latency-table versions (refs or IDs from -store), comma-separated")
+	storeDir := flag.String("store", "", "table store directory resolving -tables")
 	stats := flag.Bool("stats", false, "print campaign engine counters on exit")
 	flag.Parse()
 
@@ -49,6 +54,26 @@ func main() {
 	}
 	if *models != "" && *only != "" && *only != "sweep" {
 		fail(fmt.Errorf("-models only applies to the sweep artefact, not %q", *only))
+	}
+	if *tables != "" && *only != "" && *only != "sweep" {
+		fail(fmt.Errorf("-tables only applies to the sweep artefact, not %q", *only))
+	}
+	var tableList []string
+	if *tables != "" {
+		if *storeDir == "" {
+			fail(fmt.Errorf("-tables requires -store"))
+		}
+		for _, tb := range strings.Split(*tables, ",") {
+			if tb = strings.TrimSpace(tb); tb != "" {
+				tableList = append(tableList, tb)
+			}
+		}
+	}
+	var store *tabstore.Store
+	if *storeDir != "" {
+		if store, err = tabstore.Open(*storeDir); err != nil {
+			fail(err)
+		}
 	}
 	var modelList []string
 	if *models != "" {
@@ -68,7 +93,7 @@ func main() {
 		"table5":  table5,
 		"table6":  table6,
 		"figure4": figure4,
-		"sweep":   sweepArtefact(perts, modelList),
+		"sweep":   sweepArtefact(perts, modelList, tableList, store),
 	}
 	run := func(name string) {
 		if err := artefacts[name](ctx, runner, lat); err != nil {
@@ -213,12 +238,14 @@ func figure4(ctx context.Context, r experiments.Runner, lat platform.LatencyTabl
 	return nil
 }
 
-func sweepArtefact(perts []experiments.Perturbation, models []string) func(context.Context, experiments.Runner, platform.LatencyTable) error {
+func sweepArtefact(perts []experiments.Perturbation, models, tables []string, store *tabstore.Store) func(context.Context, experiments.Runner, platform.LatencyTable) error {
 	return func(ctx context.Context, r experiments.Runner, lat platform.LatencyTable) error {
 		points, err := r.Sweep(ctx, lat, experiments.Grid{
 			AppIterations: experiments.AppIterations,
 			Perturbations: perts,
 			Models:        models,
+			Tables:        tables,
+			Store:         store,
 		})
 		if err != nil {
 			return err
@@ -238,6 +265,14 @@ func sweepArtefact(perts []experiments.Perturbation, models []string) func(conte
 			name := p.Perturbation
 			if name == "" {
 				name = "base"
+			}
+			// Stored-table cells carry the ref; perturbations stack on top.
+			if p.Table != "" {
+				if p.Perturbation == "" {
+					name = p.Table
+				} else {
+					name = p.Table + "+" + p.Perturbation
+				}
 			}
 			fmt.Printf("%-10s scenario%-2d %-8s %12d", name, p.Scenario, p.Level, p.IsolationCycles)
 			for _, e := range p.Estimates {

@@ -16,7 +16,18 @@
 //	                ({"models": ["ilpPtac", "ftcFsb"], ...}) and gets
 //	                exactly those estimates back, in request order
 //	GET  /v2/models list of registered models and their aliases
+//	GET  /v2/tables list stored latency-table versions, refs and the
+//	                serving default; POST registers a new table
+//	GET  /v2/tables/{ref}          one table by ref or content address
+//	POST /v2/tables/{ref}/promote  atomically hot-swap the serving default
+//	POST /v2/calibrate             streaming calibration: DSU readings in,
+//	                candidate table + drift report out
 //	GET  /healthz   liveness
+//
+// Latency tables are versioned, content-addressed artifacts: -data
+// persists them (and their refs) across restarts, and a recalibrated
+// table can be registered and promoted on the live daemon — subsequent
+// analysis evaluates under it with no restart.
 //
 // Identical requests are served from a canonical-request LRU cache, so
 // repeat submissions cost zero solver time. Admission control bounds
@@ -37,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/tabstore"
 	"repro/wcet"
 )
 
@@ -49,16 +61,33 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout (queue wait included)")
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	maxBatch := flag.Int("max-batch", 4096, "maximum requests per batch")
+	dataDir := flag.String("data", "", "latency-table store directory (empty: in-memory, tables are lost on exit)")
+	tableRef := flag.String("table", "tc27x/default", "table ref to serve under at startup")
 	flag.Parse()
 
+	store, err := tabstore.Open(*dataDir)
+	if err != nil {
+		fail(err)
+	}
+	// The service seeds "tc27x/default" itself; any other startup ref
+	// must already exist in the store — fail with a usage error rather
+	// than the service's construction panic.
+	if *tableRef != "tc27x/default" {
+		if _, _, err := store.Resolve(*tableRef); err != nil {
+			fail(fmt.Errorf("-table: %w", err))
+		}
+	}
+
 	srv := service.New(service.Config{
-		Workers:        *workers,
-		CacheEntries:   *cacheEntries,
-		MaxInFlight:    *maxInFlight,
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *timeout,
-		MaxBodyBytes:   *maxBody,
-		MaxBatchItems:  *maxBatch,
+		Workers:         *workers,
+		CacheEntries:    *cacheEntries,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      *queueDepth,
+		RequestTimeout:  *timeout,
+		MaxBodyBytes:    *maxBody,
+		MaxBatchItems:   *maxBatch,
+		TableStore:      store,
+		DefaultTableRef: *tableRef,
 	}, nil)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -67,6 +96,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wcetd: listening on %s\n", ln.Addr())
 	fmt.Fprintf(os.Stderr, "wcetd: serving models: %s\n", strings.Join(wcet.DefaultRegistry().Names(), ", "))
+	fmt.Fprintf(os.Stderr, "wcetd: serving table: %s (%s)\n", *tableRef, srv.StatsSnapshot().ServingTable)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

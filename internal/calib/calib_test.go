@@ -1,0 +1,305 @@
+package calib
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsu"
+	"repro/internal/platform"
+)
+
+// sampleFor fabricates a consistent sample: n accesses at lat cycles each
+// (plus the dispatch cycle) with stall cycles per access.
+func sampleFor(path string, n, lat, stall int64, prefetch bool) Sample {
+	var to platform.TargetOp
+	for _, p := range platform.AccessPairs() {
+		if p.String() == path {
+			to = p
+		}
+	}
+	r := dsu.Readings{CCNT: n * (lat + 1)}
+	if to.Op == platform.Data {
+		r.DS = n * stall
+	} else {
+		r.PS = n * stall
+	}
+	return Sample{Path: path, Accesses: n, Prefetch: prefetch, Readings: r}
+}
+
+// fullBatch covers every legal path with the given base figures.
+func fullBatch(n int64) Batch {
+	var b Batch
+	for _, to := range platform.AccessPairs() {
+		l := platform.TC27xLatencies()[to.Target][to.Op]
+		b.Samples = append(b.Samples,
+			sampleFor(to.String(), n, l.Max, l.Stall, false),
+			sampleFor(to.String(), n, l.Min, l.Stall, true),
+		)
+	}
+	return b
+}
+
+func TestEngineReproducesTable2FromSyntheticSamples(t *testing.T) {
+	e := New(Config{})
+	if err := e.Ingest(fullBatch(1000)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := platform.TC27xLatencies(); got != want {
+		t.Fatalf("table:\n got %+v\nwant %+v", got, want)
+	}
+	if !e.Converged() {
+		t.Fatal("full coverage with MinSamples=1 must converge")
+	}
+}
+
+func TestEngineStreamsAcrossBatches(t *testing.T) {
+	e := New(Config{MinSamples: 2})
+	b := fullBatch(500)
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	if e.Converged() {
+		t.Fatal("one sample per mode must not satisfy MinSamples=2")
+	}
+	if _, err := e.Table(); err != nil {
+		t.Fatalf("coverage is complete, Table must work pre-convergence: %v", err)
+	}
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Converged() {
+		t.Fatal("second identical batch must converge")
+	}
+	rep := e.Report()
+	if rep.TotalSamples != int64(2*len(b.Samples)) {
+		t.Fatalf("TotalSamples %d", rep.TotalSamples)
+	}
+	for _, p := range rep.Paths {
+		if p.SamplesOff != 2 || p.SamplesOn != 2 {
+			t.Fatalf("path %s: off %d on %d", p.Path, p.SamplesOff, p.SamplesOn)
+		}
+		if !p.Converged {
+			t.Fatalf("path %s not converged", p.Path)
+		}
+	}
+}
+
+func TestEngineAggregatesMinMax(t *testing.T) {
+	e := New(Config{})
+	// Three noisy prefetch-off samples on pf0/co: lmax must be the max,
+	// stall the min.
+	for _, s := range []Sample{
+		sampleFor("pf0/co", 100, 15, 7, false),
+		sampleFor("pf0/co", 100, 16, 6, false),
+		sampleFor("pf0/co", 100, 14, 8, false),
+		sampleFor("pf0/co", 100, 12, 6, true),
+		sampleFor("pf0/co", 100, 13, 6, true),
+	} {
+		if err := e.Ingest(Batch{Samples: []Sample{s}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := e.Report()
+	var pr PathReport
+	for _, p := range rep.Paths {
+		if p.Path == "pf0/co" {
+			pr = p
+		}
+	}
+	if pr.LMax != 16 || pr.LMin != 12 || pr.Stall != 6 {
+		t.Fatalf("pf0/co estimates: %+v", pr)
+	}
+	if pr.P50Off != 15 || pr.P95Off != 16 {
+		t.Fatalf("pf0/co percentiles: p50 %d p95 %d", pr.P50Off, pr.P95Off)
+	}
+}
+
+func TestStableTailDelaysConvergence(t *testing.T) {
+	e := New(Config{MinSamples: 1, StableTail: 2})
+	b := fullBatch(500)
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	if e.Converged() {
+		t.Fatal("first batch always changes estimates; StableTail=2 must hold convergence back")
+	}
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Converged() {
+		t.Fatal("two unchanged repeats must satisfy StableTail=2")
+	}
+}
+
+func TestIngestRejectsBadSamplesAtomically(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sample
+		want string
+	}{
+		{"unknown path", Sample{Path: "dfl/co", Accesses: 10, Readings: dsu.Readings{CCNT: 100}}, "unknown access path"},
+		{"zero accesses", Sample{Path: "pf0/co", Accesses: 0, Readings: dsu.Readings{CCNT: 100}}, "accesses must be positive"},
+		{"negative counter", Sample{Path: "pf0/co", Accesses: 10, Readings: dsu.Readings{CCNT: 100, PS: -1}}, "negative"},
+		{"stalls exceed cycles", Sample{Path: "pf0/co", Accesses: 10, Readings: dsu.Readings{CCNT: 100, PS: 200}}, "exceeds CCNT"},
+		{"no cycles", Sample{Path: "pf0/co", Accesses: 10, Readings: dsu.Readings{}}, "no cycles"},
+		{"sub-cycle latency", Sample{Path: "pf0/co", Accesses: 1000, Readings: dsu.Readings{CCNT: 900}}, "sub-cycle"},
+	}
+	for _, tc := range cases {
+		e := New(Config{})
+		good := sampleFor("pf0/co", 100, 16, 6, false)
+		err := e.Ingest(Batch{Samples: []Sample{good, tc.s}})
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want %q", tc.name, err, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), "sample 1") {
+			t.Errorf("%s: error %v does not name the offending index", tc.name, err)
+		}
+		// Atomicity: the good sample preceding the bad one must not have
+		// been applied.
+		if rep := e.Report(); rep.TotalSamples != 0 {
+			t.Errorf("%s: bad batch half-applied (%d samples)", tc.name, rep.TotalSamples)
+		}
+	}
+}
+
+// TestSessionSampleCap pins the streaming session's memory bound: the
+// engine retains per-sample data for percentiles, so Ingest must refuse
+// to grow past MaxSamples rather than let a long-lived wire session
+// consume the host.
+func TestSessionSampleCap(t *testing.T) {
+	e := New(Config{MaxSamples: 3})
+	b := Batch{Samples: []Sample{
+		sampleFor("pf0/co", 100, 16, 6, false),
+		sampleFor("pf0/co", 100, 12, 6, true),
+	}}
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	err := e.Ingest(b)
+	if err == nil || !strings.Contains(err.Error(), "session cap") {
+		t.Fatalf("over-cap batch: %v", err)
+	}
+	// The rejected batch must not have been applied at all.
+	if rep := e.Report(); rep.TotalSamples != 2 {
+		t.Fatalf("over-cap batch half-applied: %d samples", rep.TotalSamples)
+	}
+	// A batch that exactly fills the cap still lands.
+	if err := e.Ingest(Batch{Samples: b.Samples[:1]}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRequiresFullCoverage(t *testing.T) {
+	e := New(Config{})
+	if err := e.Ingest(Batch{Samples: []Sample{
+		sampleFor("pf0/co", 100, 16, 6, false),
+		sampleFor("pf0/co", 100, 12, 6, true),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Table(); err == nil || !strings.Contains(err.Error(), "lacks coverage") {
+		t.Fatalf("partial coverage must fail Table: %v", err)
+	}
+}
+
+func TestDriftFlagsMovedFigures(t *testing.T) {
+	ref := platform.TC27xLatencies()
+	cand := ref
+	cand[platform.PF0][platform.Code] = platform.Latency{Max: 20, Min: 12, Stall: 6} // lmax 16 -> 20: +25%
+	cand[platform.LMU][platform.Data] = platform.Latency{Max: 11, Min: 11, Stall: 10}
+
+	rep := Drift(cand, ref, 0.10)
+	if !rep.Drifted {
+		t.Fatal("25% lmax movement above 10% tolerance must drift")
+	}
+	if len(rep.Fields) != 1 {
+		t.Fatalf("fields: %+v", rep.Fields)
+	}
+	f := rep.Fields[0]
+	if f.Path != "pf0/co" || f.Field != "lmax" || !f.Exceeds || f.Candidate != 20 || f.Reference != 16 {
+		t.Fatalf("field: %+v", f)
+	}
+
+	// Within tolerance: reported but not drifted.
+	cand = ref
+	cand[platform.PF0][platform.Code].Max = 17 // +6.25%
+	rep = Drift(cand, ref, 0.10)
+	if rep.Drifted {
+		t.Fatal("6.25% under 10% tolerance must not drift")
+	}
+	if len(rep.Fields) != 1 || rep.Fields[0].Exceeds {
+		t.Fatalf("fields: %+v", rep.Fields)
+	}
+
+	// Identical tables: clean report.
+	rep = Drift(ref, ref, 0)
+	if rep.Drifted || len(rep.Fields) != 0 {
+		t.Fatalf("identical tables: %+v", rep)
+	}
+	if rep.Tolerance != DefaultTolerance {
+		t.Fatalf("default tolerance: %v", rep.Tolerance)
+	}
+}
+
+func TestMeasureBatchReproducesTable2OnTheSimulator(t *testing.T) {
+	b, err := MeasureBatch(platform.TC27xLatencies(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Samples) != 2*len(platform.AccessPairs()) {
+		t.Fatalf("samples: %d", len(b.Samples))
+	}
+	e := New(Config{})
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := platform.TC27xLatencies(); got != want {
+		t.Fatalf("simulator calibration:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestMeasureBatchTracksPerturbedSilicon(t *testing.T) {
+	// A "respun" platform: every figure scaled up 50%. Calibration must
+	// recover the new characterisation, and drift against the old one
+	// must trigger.
+	respun := platform.TC27xLatencies()
+	for _, to := range platform.AccessPairs() {
+		l := respun[to.Target][to.Op]
+		l.Max, l.Min, l.Stall = l.Max*3/2, l.Min*3/2, l.Stall*3/2
+		respun[to.Target][to.Op] = l
+	}
+	b, err := MeasureBatch(respun, 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{})
+	if err := e.Ingest(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == platform.TC27xLatencies() {
+		t.Fatal("calibration on respun silicon must not reproduce the old table")
+	}
+	if !Drift(got, platform.TC27xLatencies(), 0.10).Drifted {
+		t.Fatal("a 50% respin must drift against the shipped table")
+	}
+	if Drift(got, respun, 0.10).Drifted {
+		t.Fatalf("calibration must track the respun table within 10%%:\n got %+v\nwant %+v\n%+v",
+			got, respun, Drift(got, respun, 0.10))
+	}
+}

@@ -1,0 +1,50 @@
+package calib
+
+import (
+	"fmt"
+
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/internal/tricore"
+	"repro/internal/workload"
+)
+
+// MeasureBatch runs the paper's Table-2 microbenchmark protocol on the
+// simulated TC27x and returns the raw samples: for every legal access
+// path, one run of accesses back-to-back requests with the flash
+// prefetch buffers off (the lmax / stall-floor measurement) and one with
+// them on over a sequential stream (the lmin measurement). The returned
+// batch is exactly what Engine.Ingest and the wcetd /v2/calibrate
+// endpoint accept — cmd/aurixsim -emit-readings is this function behind
+// a flag.
+//
+// lat is the characterisation the simulated hardware runs with; in tests
+// a perturbed table stands in for respun silicon.
+func MeasureBatch(lat platform.LatencyTable, accesses int, core int) (Batch, error) {
+	if accesses <= 0 {
+		return Batch{}, fmt.Errorf("calib: accesses must be positive, got %d", accesses)
+	}
+	var out Batch
+	for _, to := range platform.AccessPairs() {
+		for _, prefetch := range []bool{false, true} {
+			src, err := workload.Microbench(workload.MicrobenchConfig{
+				Target: to.Target, Op: to.Op, N: accesses, Core: core,
+			})
+			if err != nil {
+				return Batch{}, fmt.Errorf("calib: measuring %s: %w", to, err)
+			}
+			res, err := sim.RunIsolation(lat, core, sim.Task{Kind: tricore.TC16P, Src: src},
+				sim.Config{FlashPrefetch: prefetch})
+			if err != nil {
+				return Batch{}, fmt.Errorf("calib: measuring %s (prefetch=%t): %w", to, prefetch, err)
+			}
+			out.Samples = append(out.Samples, Sample{
+				Path:     to.String(),
+				Accesses: int64(accesses),
+				Prefetch: prefetch,
+				Readings: res.Readings[core],
+			})
+		}
+	}
+	return out, nil
+}

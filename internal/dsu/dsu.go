@@ -162,6 +162,13 @@ func (r Readings) Validate() error {
 
 // Sub returns the counter deltas r - start, for deriving per-phase
 // measurements from two snapshots of a free-running bank.
+//
+// Sub does not mask underflow: if any counter of start exceeds r's — the
+// snapshots were swapped, or a hardware counter wrapped between them —
+// the delta goes negative, and Validate on the result reports it. Callers
+// diffing snapshots from untrusted input (the calibration wire path) must
+// validate the delta, not the raw snapshots: two individually-plausible
+// snapshots can still produce an impossible phase measurement.
 func (r Readings) Sub(start Readings) Readings {
 	return Readings{
 		CCNT: r.CCNT - start.CCNT,

@@ -1,6 +1,8 @@
 package dsu
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -126,6 +128,69 @@ func TestReadingsSub(t *testing.T) {
 	want := Readings{CCNT: 60, PS: 6, DS: 12, PM: 2, DMC: 1, DMD: 1}
 	if got != want {
 		t.Errorf("Sub = %+v, want %+v", got, want)
+	}
+}
+
+// TestReadingsSubUnderflow pins the contract calibration relies on when
+// diffing snapshots from untrusted input: Sub does not mask underflow —
+// a start snapshot ahead of the end snapshot (swapped arguments, or a
+// wrapped hardware counter) yields a negative delta, and Validate on the
+// delta flags it even when both raw snapshots validate individually.
+func TestReadingsSubUnderflow(t *testing.T) {
+	end := Readings{CCNT: 100, PS: 10, DS: 20, PM: 3, DMC: 2, DMD: 1}
+	start := Readings{CCNT: 400, PS: 40, DS: 80, PM: 10, DMC: 4, DMD: 2}
+	if err := end.Validate(); err != nil {
+		t.Fatalf("end snapshot: %v", err)
+	}
+	if err := start.Validate(); err != nil {
+		t.Fatalf("start snapshot: %v", err)
+	}
+
+	got := end.Sub(start)
+	want := Readings{CCNT: -300, PS: -30, DS: -60, PM: -7, DMC: -2, DMD: -1}
+	if got != want {
+		t.Errorf("underflowed Sub = %+v, want %+v", got, want)
+	}
+	if err := got.Validate(); err == nil {
+		t.Error("Validate accepted a fully negative delta")
+	}
+
+	// A single wrapped counter: CCNT moved forward but PS went backwards
+	// (e.g. the PS counter was reprogrammed mid-window). The delta must
+	// fail validation even though every other field is plausible.
+	end = Readings{CCNT: 500, PS: 5, DS: 80, PM: 10, DMC: 4, DMD: 2}
+	partial := end.Sub(start)
+	if partial.CCNT != 100 || partial.PS != -35 {
+		t.Fatalf("partial delta = %+v", partial)
+	}
+	if err := partial.Validate(); err == nil || !strings.Contains(err.Error(), "PS") {
+		t.Errorf("Validate on a single wrapped counter: %v", err)
+	}
+}
+
+// TestReadingsSubWraparound documents the int64 edge: deltas of a counter
+// that wrapped the full int64 range overflow Go's subtraction in the same
+// direction the hardware wrapped, so the result is negative and
+// detectable — Sub never silently normalises.
+func TestReadingsSubWraparound(t *testing.T) {
+	end := Readings{CCNT: math.MinInt64 + 5}
+	start := Readings{CCNT: math.MaxInt64 - 4}
+	got := end.Sub(start)
+	// Two's-complement wrap: the "true" 10-cycle advance reappears.
+	if got.CCNT != 10 {
+		t.Fatalf("wrapped CCNT delta = %d, want 10 (two's-complement)", got.CCNT)
+	}
+	// But a wrapped *end* snapshot is itself invalid input — negative
+	// CCNT — so the untrusted-input path rejects it before Sub matters.
+	if err := end.Validate(); err == nil {
+		t.Error("Validate accepted a negative (wrapped) CCNT snapshot")
+	}
+
+	// Near-max values that have not wrapped subtract exactly.
+	end = Readings{CCNT: math.MaxInt64}
+	start = Readings{CCNT: math.MaxInt64 - 7}
+	if got := end.Sub(start); got.CCNT != 7 {
+		t.Fatalf("near-max delta = %d, want 7", got.CCNT)
 	}
 }
 

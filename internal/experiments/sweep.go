@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsu"
 	"repro/internal/platform"
+	"repro/internal/tabstore"
 	"repro/internal/workload"
 	"repro/wcet"
 )
@@ -19,8 +20,12 @@ import (
 type SweepPoint struct {
 	Scenario workload.Scenario
 	Level    workload.Level
-	// Perturbation names the latency-table variant the cell was evaluated
-	// on; empty for the unperturbed base table.
+	// Table names the stored latency-table version the cell was evaluated
+	// on (a Grid.Tables ref); empty when the grid swept the base table
+	// argument.
+	Table string
+	// Perturbation names the synthetic latency-table variant the cell was
+	// evaluated on; empty for the unperturbed table.
 	Perturbation string
 
 	IsolationCycles int64
@@ -153,6 +158,16 @@ type Grid struct {
 	Models []string
 	// Registry resolves Models; nil selects wcet.DefaultRegistry.
 	Registry *wcet.Registry
+	// Tables selects stored latency-table versions (refs or IDs resolved
+	// through Store) as an additional, outermost grid dimension: the OEM
+	// question "does the verdict survive the re-measured
+	// characterisation?" asked against real calibration artifacts rather
+	// than synthetic perturbations. Perturbations still apply, on top of
+	// each selected table. Empty sweeps only the base table passed to
+	// Sweep.
+	Tables []string
+	// Store resolves Tables; required when Tables is non-empty.
+	Store *tabstore.Store
 }
 
 // withDefaults fills unset dimensions with the paper's grid.
@@ -178,7 +193,11 @@ func (g Grid) withDefaults() Grid {
 // Size is the number of cells in the grid.
 func (g Grid) Size() int {
 	g = g.withDefaults()
-	return len(g.Scenarios) * len(g.Levels) * len(g.Perturbations)
+	tables := len(g.Tables)
+	if tables == 0 {
+		tables = 1
+	}
+	return tables * len(g.Scenarios) * len(g.Levels) * len(g.Perturbations)
 }
 
 // Sweep explores every (deployment scenario, contender load) combination
@@ -197,26 +216,52 @@ func Sweep(lat platform.LatencyTable, appIterations int) ([]SweepPoint, error) {
 	return defaultRunner.Sweep(context.Background(), lat, Grid{AppIterations: appIterations})
 }
 
-// Sweep runs the configured grid: one engine cell per (perturbation,
-// scenario, level) combination, in stable grid order (perturbations
-// outermost, levels innermost). Cells of the same (perturbation,
-// scenario) share the application's isolation baseline through the
-// engine's memo cache instead of re-simulating it.
+// Sweep runs the configured grid: one engine cell per (table,
+// perturbation, scenario, level) combination, in stable grid order
+// (stored tables outermost, then perturbations, levels innermost). Cells
+// of the same (table, perturbation, scenario) share the application's
+// isolation baseline through the engine's memo cache instead of
+// re-simulating it.
 func (r Runner) Sweep(ctx context.Context, lat platform.LatencyTable, grid Grid) ([]SweepPoint, error) {
 	grid = grid.withDefaults()
+
+	// Resolve the stored-table dimension up front: a dangling ref fails
+	// the sweep before any simulation runs.
+	type tableVariant struct {
+		name string
+		lat  platform.LatencyTable
+	}
+	variants := []tableVariant{{name: "", lat: lat}}
+	if len(grid.Tables) > 0 {
+		if grid.Store == nil {
+			return nil, fmt.Errorf("experiments: Grid.Tables set but Grid.Store is nil")
+		}
+		variants = variants[:0]
+		for _, ref := range grid.Tables {
+			resolved, _, err := grid.Store.Resolve(ref)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %w", err)
+			}
+			variants = append(variants, tableVariant{name: ref, lat: resolved})
+		}
+	}
+
 	var jobs []campaign.Job[SweepPoint]
-	for _, pert := range grid.Perturbations {
-		lat := pert.apply(lat)
-		for _, sc := range grid.Scenarios {
-			for _, lv := range grid.Levels {
-				jobs = append(jobs, func(ctx context.Context) (SweepPoint, error) {
-					p, err := r.sweepCell(ctx, lat, sc, lv, grid)
-					if err != nil {
-						return SweepPoint{}, fmt.Errorf("experiments: sweep %q scenario %d %s: %w", pert.Name, sc, lv, err)
-					}
-					p.Perturbation = pert.Name
-					return p, nil
-				})
+	for _, tv := range variants {
+		for _, pert := range grid.Perturbations {
+			tv, lat := tv, pert.apply(tv.lat)
+			for _, sc := range grid.Scenarios {
+				for _, lv := range grid.Levels {
+					jobs = append(jobs, func(ctx context.Context) (SweepPoint, error) {
+						p, err := r.sweepCell(ctx, lat, sc, lv, grid)
+						if err != nil {
+							return SweepPoint{}, fmt.Errorf("experiments: sweep table %q pert %q scenario %d %s: %w", tv.name, pert.Name, sc, lv, err)
+						}
+						p.Table = tv.name
+						p.Perturbation = pert.Name
+						return p, nil
+					})
+				}
 			}
 		}
 	}

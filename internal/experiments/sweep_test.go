@@ -1,7 +1,11 @@
 package experiments
 
 import (
+	"context"
+	"strings"
 	"testing"
+
+	"repro/internal/tabstore"
 )
 
 func TestSweepCoversTheDesignSpace(t *testing.T) {
@@ -55,6 +59,85 @@ func TestVerdictStrings(t *testing.T) {
 	}
 	if Verdict(9).String() != "Verdict(9)" {
 		t.Error("fallback verdict string")
+	}
+}
+
+// TestSweepAcrossStoredTableVersions drives the grid's stored-table
+// dimension: two registered characterisations (the shipped TC27x and a
+// "respin" with scaled latencies) swept side by side, each cell labelled
+// with the ref it ran under and evaluated under that table's figures.
+func TestSweepAcrossStoredTableVersions(t *testing.T) {
+	store, err := tabstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseID, err := store.Put(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetRef("tc27x/default", baseID); err != nil {
+		t.Fatal(err)
+	}
+	respin := ScaleLatencies("", 150, 100).apply(lat)
+	respinID, err := store.Put(respin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetRef("tc27x/respin", respinID); err != nil {
+		t.Fatal(err)
+	}
+
+	grid := Grid{
+		AppIterations: 100,
+		Tables:        []string{"tc27x/default", "tc27x/respin"},
+		Store:         store,
+	}
+	if grid.Size() != 12 {
+		t.Fatalf("grid size %d, want 12", grid.Size())
+	}
+	points, err := defaultRunner.Sweep(context.Background(), lat, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 12 {
+		t.Fatalf("%d points, want 12", len(points))
+	}
+	byTable := map[string][]SweepPoint{}
+	for _, p := range points {
+		byTable[p.Table] = append(byTable[p.Table], p)
+	}
+	if len(byTable["tc27x/default"]) != 6 || len(byTable["tc27x/respin"]) != 6 {
+		t.Fatalf("table labels: %v", byTable)
+	}
+	// The default-table half must agree with the classic base sweep; the
+	// respin half must differ (the verdicts are characterisation-bound).
+	classic, err := Sweep(lat, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range byTable["tc27x/default"] {
+		if p.FTC.WCET() != classic[i].FTC.WCET() {
+			t.Fatalf("cell %d: stored default table diverges from base sweep: %d vs %d", i, p.FTC.WCET(), classic[i].FTC.WCET())
+		}
+	}
+	differs := false
+	for i, p := range byTable["tc27x/respin"] {
+		if p.FTC.WCET() != classic[i].FTC.WCET() {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("respin table produced identical verdicts everywhere")
+	}
+}
+
+func TestSweepTableErrors(t *testing.T) {
+	if _, err := defaultRunner.Sweep(context.Background(), lat, Grid{Tables: []string{"x"}}); err == nil || !strings.Contains(err.Error(), "Grid.Store is nil") {
+		t.Fatalf("tables without store: %v", err)
+	}
+	store, _ := tabstore.Open("")
+	if _, err := defaultRunner.Sweep(context.Background(), lat, Grid{Tables: []string{"nope"}, Store: store}); err == nil || !strings.Contains(err.Error(), "unknown table ref") {
+		t.Fatalf("dangling ref: %v", err)
 	}
 }
 

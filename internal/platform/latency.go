@@ -95,8 +95,13 @@ func (lt *LatencyTable) MaxLatencyFor(o Op) int64 {
 }
 
 // Validate checks internal consistency: positive latencies on all legal
-// pairs, Min <= Max, and Stall <= Max (a request cannot stall the pipeline
-// for longer than its own end-to-end latency).
+// pairs (which subsumes rejecting negative stall-cycle figures), Min <=
+// Max, Stall <= Max (a request cannot stall the pipeline for longer than
+// its own end-to-end latency), and strictly zero entries on illegal
+// pairs. The last check matters now that tables arrive from disk and the
+// wire, not only from code: a figure smuggled into an inaccessible slot
+// (code on dfl) would silently survive and corrupt any future consumer
+// that iterates raw indices instead of AccessPairs.
 func (lt *LatencyTable) Validate() error {
 	for _, to := range AccessPairs() {
 		l := lt[to.Target][to.Op]
@@ -107,6 +112,13 @@ func (lt *LatencyTable) Validate() error {
 			return fmt.Errorf("platform: min latency %d exceeds max %d for %s", l.Min, l.Max, to)
 		case l.Stall > l.Max:
 			return fmt.Errorf("platform: stall %d exceeds max latency %d for %s", l.Stall, l.Max, to)
+		}
+	}
+	for _, t := range Targets {
+		for _, o := range Ops {
+			if !CanAccess(t, o) && lt[t][o] != (Latency{}) {
+				return fmt.Errorf("platform: illegal pair %s/%s holds non-zero latency %+v (must be zero)", t, o, lt[t][o])
+			}
 		}
 	}
 	return nil

@@ -153,6 +153,43 @@ func TestLatencyValidateCatchesCorruption(t *testing.T) {
 	}
 }
 
+// TestLatencyValidateRejectsLoadedTableShapes covers the corruption
+// shapes a table loaded from disk or the wire (rather than built in code)
+// can carry: lmin above lmax, negative stall figures, and data smuggled
+// into access paths that do not exist on the platform.
+func TestLatencyValidateRejectsLoadedTableShapes(t *testing.T) {
+	lt := TC27xLatencies()
+	lt[PF1][Data] = Latency{Max: 12, Min: 16, Stall: 11} // lmin > lmax
+	if err := lt.Validate(); err == nil {
+		t.Error("Validate accepted lmin > lmax")
+	}
+
+	lt = TC27xLatencies()
+	lt[PF0][Code].Stall = -6
+	if err := lt.Validate(); err == nil {
+		t.Error("Validate accepted a negative stall figure")
+	}
+
+	lt = TC27xLatencies()
+	lt[LMU][Code].Min = -1
+	if err := lt.Validate(); err == nil {
+		t.Error("Validate accepted a negative min latency")
+	}
+
+	// Code on the data flash is not an access path (Table 3); a loaded
+	// table carrying figures there is corrupt even though no model ever
+	// reads the slot through AccessPairs.
+	lt = TC27xLatencies()
+	lt[DFL][Code] = Latency{Max: 43, Min: 43, Stall: 42}
+	if err := lt.Validate(); err == nil {
+		t.Error("Validate accepted figures on the illegal dfl/co pair")
+	}
+
+	if lt := TC27xLatencies(); lt.Validate() != nil {
+		t.Error("Validate rejected the shipped TC27x table")
+	}
+}
+
 func TestDecodeScratchpads(t *testing.T) {
 	for core := 0; core < 3; core++ {
 		r := Decode(PSPRAddr(core, 0x100))

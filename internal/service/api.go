@@ -288,18 +288,22 @@ func Evaluate(req Request) (*Response, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	return evaluateWith(defaultAnalyzer, req)
+	return evaluateWith(defaultAnalyzer, req, "")
 }
 
 // evaluateWith is Evaluate against a specific analyzer (a server may carry
-// its own registry). Callers must have validated req — the server does so
+// its own registry) and latency-table version: a non-empty tableRef makes
+// the analyzer resolve that table from its store (the daemon passes the
+// serving table's content address; the CLI passes "" for the analyzer's
+// fixed table). Callers must have validated req — the server does so
 // pre-admission, Evaluate does so on entry — so the miss path does not
 // re-validate.
-func evaluateWith(an *wcet.Analyzer, req Request) (*Response, error) {
+func evaluateWith(an *wcet.Analyzer, req Request, tableRef string) (*Response, error) {
 	sdkReq, err := toSDKRequest(an.Registry(), req)
 	if err != nil {
 		return nil, err
 	}
+	sdkReq.TableRef = tableRef
 	res, err := an.Analyze(context.Background(), sdkReq)
 	if err != nil {
 		return nil, err

@@ -18,13 +18,13 @@ func BenchmarkCacheHit(b *testing.B) {
 	s := New(Config{}, nil)
 	req := sampleRequest(0)
 	key := CanonicalKey(req)
-	if _, err := s.lookupOrCompute(context.Background(), key, func() (*cached, error) { return s.evaluateEncoded(req) }); err != nil {
+	if _, err := s.lookupOrCompute(context.Background(), key, func() (*cached, error) { return s.evaluateEncoded(req, s.servingID()) }); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.lookupOrCompute(context.Background(), key, func() (*cached, error) { return s.evaluateEncoded(req) }); err != nil {
+		if _, err := s.lookupOrCompute(context.Background(), key, func() (*cached, error) { return s.evaluateEncoded(req, s.servingID()) }); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +42,7 @@ func BenchmarkDuplicateRequestEndToEnd(b *testing.B) {
 	s := New(Config{}, nil)
 	req := sampleRequest(0)
 	body := encodeRequest(b, req)
-	if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(req), func() (*cached, error) { return s.evaluateEncoded(req) }); err != nil {
+	if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(req), func() (*cached, error) { return s.evaluateEncoded(req, s.servingID()) }); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -52,7 +52,7 @@ func BenchmarkDuplicateRequestEndToEnd(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(dec), func() (*cached, error) { return s.evaluateEncoded(dec) }); err != nil {
+		if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(dec), func() (*cached, error) { return s.evaluateEncoded(dec, s.servingID()) }); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -12,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/campaign"
+	"repro/internal/tabstore"
 	"repro/wcet"
 )
 
@@ -49,6 +51,16 @@ type Config struct {
 	// v2-only server whose /v1 requests fail with an unknown-model error.
 	// A registry with no models at all is a programming error: New panics.
 	Registry *wcet.Registry
+	// TableStore is the versioned latency-table store backing /v2/tables
+	// and /v2/calibrate; nil selects a fresh in-memory store. The TC27x
+	// characterisation is seeded under the ref "tc27x/default" when that
+	// ref is absent.
+	TableStore *tabstore.Store
+	// DefaultTableRef names the table the server starts serving under;
+	// empty selects "tc27x/default". It must resolve in TableStore after
+	// seeding, else New panics — a server cannot run without a
+	// characterisation.
+	DefaultTableRef string
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +84,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatchItems <= 0 {
 		c.MaxBatchItems = 4096
+	}
+	if c.DefaultTableRef == "" {
+		c.DefaultTableRef = "tc27x/default"
 	}
 	return c
 }
@@ -125,10 +140,16 @@ type Stats struct {
 	RejectedOverload int64 `json:"rejectedOverload"`
 	Canceled         int64 `json:"canceled"`
 
-	SingleRequests int64 `json:"singleRequests"`
-	BatchRequests  int64 `json:"batchRequests"`
-	BatchItems     int64 `json:"batchItems"`
-	V2Requests     int64 `json:"v2Requests"`
+	SingleRequests    int64 `json:"singleRequests"`
+	BatchRequests     int64 `json:"batchRequests"`
+	BatchItems        int64 `json:"batchItems"`
+	V2Requests        int64 `json:"v2Requests"`
+	TableRequests     int64 `json:"tableRequests"`
+	CalibrateRequests int64 `json:"calibrateRequests"`
+
+	// ServingTable is the content address of the latency table analysis
+	// requests currently evaluate under by default.
+	ServingTable string `json:"servingTable"`
 
 	Cache CacheStats `json:"cache"`
 }
@@ -153,21 +174,33 @@ type Server struct {
 	cache    *resultCache
 	analyzer *wcet.Analyzer
 
+	// store holds every registered latency-table version; serving is the
+	// content address analysis evaluates under by default, swapped
+	// atomically by /v2/tables/{ref}/promote.
+	store   *tabstore.Store
+	serving atomic.Value // tabstore.ID
+
+	// calibEng is the streaming calibration session /v2/calibrate feeds.
+	calibMu  sync.Mutex
+	calibEng *calib.Engine
+
 	sem    chan struct{}
 	queued atomic.Int64
 
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
-	inFlight         atomic.Int64
-	accepted         atomic.Int64
-	rejectedOverload atomic.Int64
-	canceled         atomic.Int64
-	dedup            atomic.Int64
-	singleRequests   atomic.Int64
-	batchRequests    atomic.Int64
-	batchItems       atomic.Int64
-	v2Requests       atomic.Int64
+	inFlight          atomic.Int64
+	accepted          atomic.Int64
+	rejectedOverload  atomic.Int64
+	canceled          atomic.Int64
+	dedup             atomic.Int64
+	singleRequests    atomic.Int64
+	batchRequests     atomic.Int64
+	batchItems        atomic.Int64
+	v2Requests        atomic.Int64
+	tableRequests     atomic.Int64
+	calibrateRequests atomic.Int64
 
 	httpSrv *http.Server
 }
@@ -192,7 +225,30 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 	if len(reg.Names()) == 0 {
 		panic("service: Config.Registry has no registered models")
 	}
-	opts := []wcet.Option{wcet.WithRegistry(reg), wcet.WithConcurrency(1)}
+	// Seed the table store: the TC27x characterisation is always
+	// registered, and the canonical ref for it is created unless the
+	// caller's store already claims it.
+	store := cfg.TableStore
+	if store == nil {
+		var err error
+		if store, err = tabstore.Open(""); err != nil {
+			panic(fmt.Sprintf("service: %v", err))
+		}
+	}
+	tc27xID, err := store.Put(wcet.TC27x())
+	if err != nil {
+		panic(fmt.Sprintf("service: seeding tc27x table: %v", err))
+	}
+	if _, _, err := store.Resolve("tc27x/default"); err != nil {
+		if err := store.SetRef("tc27x/default", tc27xID); err != nil {
+			panic(fmt.Sprintf("service: seeding tc27x/default ref: %v", err))
+		}
+	}
+	_, servingID, err := store.Resolve(cfg.DefaultTableRef)
+	if err != nil {
+		panic(fmt.Sprintf("service: default table ref does not resolve: %v", err))
+	}
+	opts := []wcet.Option{wcet.WithRegistry(reg), wcet.WithConcurrency(1), wcet.WithTableStore(store)}
 	analyzer, err := wcet.NewAnalyzer(opts...)
 	if err != nil {
 		// The registry lacks the v1 pair — a v2-only deployment. Default
@@ -205,15 +261,20 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 		engine:   engine,
 		cache:    newResultCache(cfg.CacheEntries),
 		analyzer: analyzer,
+		store:    store,
 		sem:      make(chan struct{}, cfg.MaxInFlight),
 		flights:  make(map[string]*flight),
 	}
+	s.serving.Store(servingID)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/wcet", s.handleSingle)
 	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/v2/analyze", s.handleV2Analyze)
 	mux.HandleFunc("/v2/models", s.handleV2Models)
+	mux.HandleFunc("/v2/tables", s.handleTables)
+	mux.HandleFunc("/v2/tables/", s.handleTableByRef)
+	mux.HandleFunc("/v2/calibrate", s.handleCalibrate)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	s.httpSrv = &http.Server{
 		Handler:           mux,
@@ -248,18 +309,21 @@ func (s *Server) Shutdown(ctx context.Context) error { return s.httpSrv.Shutdown
 // StatsSnapshot returns the current counters (what /v1/stats serves).
 func (s *Server) StatsSnapshot() Stats {
 	return Stats{
-		Workers:          s.engine.Workers(),
-		MaxInFlight:      s.cfg.MaxInFlight,
-		QueueDepth:       s.cfg.QueueDepth,
-		InFlight:         s.inFlight.Load(),
-		Queued:           s.queued.Load(),
-		Accepted:         s.accepted.Load(),
-		RejectedOverload: s.rejectedOverload.Load(),
-		Canceled:         s.canceled.Load(),
-		SingleRequests:   s.singleRequests.Load(),
-		BatchRequests:    s.batchRequests.Load(),
-		BatchItems:       s.batchItems.Load(),
-		V2Requests:       s.v2Requests.Load(),
+		Workers:           s.engine.Workers(),
+		MaxInFlight:       s.cfg.MaxInFlight,
+		QueueDepth:        s.cfg.QueueDepth,
+		InFlight:          s.inFlight.Load(),
+		Queued:            s.queued.Load(),
+		Accepted:          s.accepted.Load(),
+		RejectedOverload:  s.rejectedOverload.Load(),
+		Canceled:          s.canceled.Load(),
+		SingleRequests:    s.singleRequests.Load(),
+		BatchRequests:     s.batchRequests.Load(),
+		BatchItems:        s.batchItems.Load(),
+		V2Requests:        s.v2Requests.Load(),
+		TableRequests:     s.tableRequests.Load(),
+		CalibrateRequests: s.calibrateRequests.Load(),
+		ServingTable:      string(s.servingID()),
 		Cache: CacheStats{
 			Hits:      s.cache.hits.Load(),
 			Misses:    s.cache.misses.Load(),
@@ -358,10 +422,10 @@ func (s *Server) computeMiss(ctx context.Context, key string, compute func() (*c
 	return f.val, f.err
 }
 
-// evaluateEncoded runs the v1 models and freezes the response together
-// with its canonical encoding.
-func (s *Server) evaluateEncoded(req Request) (*cached, error) {
-	resp, err := evaluateWith(s.analyzer, req)
+// evaluateEncoded runs the v1 models under the given table version and
+// freezes the response together with its canonical encoding.
+func (s *Server) evaluateEncoded(req Request, table tabstore.ID) (*cached, error) {
+	resp, err := evaluateWith(s.analyzer, req, string(table))
 	if err != nil {
 		return nil, err
 	}
@@ -406,9 +470,18 @@ func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, canonicalKeyReg(s.analyzer.Registry(), req), func() (*cached, error) {
-		return s.evaluateEncoded(req)
+	// Pin the serving table once per request: the result key carries its
+	// content address, so a mid-request promote can neither poison the
+	// cache nor mix tables within one evaluation.
+	table := s.servingID()
+	s.serveCached(w, r, tableKey(canonicalKeyReg(s.analyzer.Registry(), req), table), func() (*cached, error) {
+		return s.evaluateEncoded(req, table)
 	})
+}
+
+// tableKey scopes a canonical request key to one table version.
+func tableKey(base string, table tabstore.ID) string {
+	return base + ";tab=" + string(table)
 }
 
 // handleV2Analyze serves the registry-generic analysis endpoint: the
@@ -431,7 +504,20 @@ func (s *Server) handleV2Analyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.serveCached(w, r, CanonicalKeyV2(s.analyzer.Registry(), req), func() (*cached, error) {
+	// Resolve the request's table selection (a ref or ID; empty selects
+	// the serving default) to its content address now: evaluation and
+	// cache key then agree on the exact table version even if a ref is
+	// retargeted or the default promoted mid-flight.
+	table := s.servingID()
+	if req.Table != "" {
+		var rerr error
+		if _, table, rerr = s.store.Resolve(req.Table); rerr != nil {
+			httpError(w, http.StatusBadRequest, rerr)
+			return
+		}
+	}
+	sdkReq.TableRef = string(table)
+	s.serveCached(w, r, tableKey(CanonicalKeyV2(s.analyzer.Registry(), req), table), func() (*cached, error) {
 		return s.evaluateV2Encoded(sdkReq)
 	})
 }
@@ -541,7 +627,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// Fan the batch out across the campaign engine: each request is one
 	// independent cell, results come back in input order, and the
 	// engine-level slot semaphore bounds total parallelism across every
-	// concurrent batch.
+	// concurrent batch. The serving table is pinned once for the whole
+	// batch, so all cells evaluate under one characterisation.
+	table := s.servingID()
 	jobs := make([]campaign.Job[*cached], len(batch.Requests))
 	for i := range batch.Requests {
 		req := batch.Requests[i]
@@ -549,8 +637,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if err := req.validate(s.analyzer.Registry()); err != nil {
 				return nil, err
 			}
-			return s.lookupOrCompute(ctx, canonicalKeyReg(s.analyzer.Registry(), req), func() (*cached, error) {
-				return s.evaluateEncoded(req)
+			return s.lookupOrCompute(ctx, tableKey(canonicalKeyReg(s.analyzer.Registry(), req), table), func() (*cached, error) {
+				return s.evaluateEncoded(req, table)
 			})
 		}
 	}

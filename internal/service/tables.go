@@ -1,0 +1,287 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/calib"
+	"repro/internal/tabstore"
+)
+
+// This file is the daemon's latency-table lifecycle surface: listing and
+// registering versioned tables, streaming calibration, and atomic
+// promotion of the serving default — recalibration without a restart.
+//
+//	GET  /v2/tables                list stored tables, refs, serving default
+//	POST /v2/tables                register a table (optionally naming a ref)
+//	GET  /v2/tables/{ref}          fetch one table by ref or ID
+//	POST /v2/tables/{ref}/promote  atomically make {ref} the serving default
+//	POST /v2/calibrate             ingest calibration readings; candidate
+//	                               table + drift report out
+//
+// Table identity is content-addressed (tabstore.ID), so the serving
+// default is pinned by identity, not by name: promoting a ref captures
+// the table it points at now, and later retargets of that ref do not
+// change what is served until the next promote.
+
+// V2TableInfo describes one stored table in GET /v2/tables.
+type V2TableInfo struct {
+	ID      string   `json:"id"`
+	Refs    []string `json:"refs,omitempty"`
+	Serving bool     `json:"serving,omitempty"`
+}
+
+// V2TablesResponse is the wire format of GET /v2/tables.
+type V2TablesResponse struct {
+	// Serving is the content address of the table /v1 and /v2 analysis
+	// currently evaluates under by default.
+	Serving string        `json:"serving"`
+	Tables  []V2TableInfo `json:"tables"`
+}
+
+// V2TableResponse is the wire format of GET /v2/tables/{ref}.
+type V2TableResponse struct {
+	ID    string             `json:"id"`
+	Table tabstore.TableJSON `json:"table"`
+}
+
+// V2RegisterTableRequest is the wire format of POST /v2/tables.
+type V2RegisterTableRequest struct {
+	// Table is the characterisation in the store's interchange format.
+	Table tabstore.TableJSON `json:"table"`
+	// Ref optionally names (or retargets) a ref at the new table.
+	Ref string `json:"ref,omitempty"`
+}
+
+// V2RegisterTableResponse acknowledges a registration.
+type V2RegisterTableResponse struct {
+	ID  string `json:"id"`
+	Ref string `json:"ref,omitempty"`
+}
+
+// V2PromoteResponse acknowledges a promotion.
+type V2PromoteResponse struct {
+	// Serving is the newly-serving table's content address.
+	Serving string `json:"serving"`
+	// Ref is the reference that was promoted.
+	Ref string `json:"ref"`
+}
+
+// V2CalibrateRequest is the wire format of POST /v2/calibrate. The
+// calibration session is streaming: samples accumulate across requests
+// until a reset, so a rig can upload evidence batch by batch and watch
+// convergence.
+type V2CalibrateRequest struct {
+	// Samples are microbenchmark measurements (cmd/aurixsim
+	// -emit-readings produces this exact shape).
+	Samples []calib.Sample `json:"samples"`
+	// Reset discards the accumulated session before ingesting Samples.
+	Reset bool `json:"reset,omitempty"`
+	// Compare names the reference table for the drift report (ref or
+	// ID); empty compares against the serving default.
+	Compare string `json:"compare,omitempty"`
+	// Tolerance is the relative drift threshold; <= 0 selects
+	// calib.DefaultTolerance.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Register, when non-empty, stores the candidate table under this
+	// ref once every path has coverage. Registration does not promote:
+	// serving changes only via /v2/tables/{ref}/promote.
+	Register string `json:"register,omitempty"`
+}
+
+// V2CalibrateResponse reports the calibration session's state after the
+// batch: the running per-path estimator report always; the candidate
+// table, its identity and the drift report once coverage is complete.
+type V2CalibrateResponse struct {
+	Report calib.Report `json:"report"`
+	// Table is the current candidate (absent until every access path has
+	// prefetch-on and prefetch-off coverage).
+	Table *tabstore.TableJSON `json:"table,omitempty"`
+	// ID is the candidate's content address (with Table).
+	ID string `json:"id,omitempty"`
+	// Ref echoes the ref the candidate was registered under.
+	Ref string `json:"ref,omitempty"`
+	// Drift compares the candidate against the Compare reference (with
+	// Table).
+	Drift *calib.DriftReport `json:"drift,omitempty"`
+}
+
+// servingID returns the content address of the current serving table.
+func (s *Server) servingID() tabstore.ID {
+	return s.serving.Load().(tabstore.ID)
+}
+
+// TableStore exposes the server's table store (for tests and embedding).
+func (s *Server) TableStore() *tabstore.Store { return s.store }
+
+// handleTables serves the /v2/tables collection: GET lists, POST
+// registers.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.tableRequests.Add(1)
+		serving := string(s.servingID())
+		byID := make(map[string][]string)
+		for _, ref := range s.store.Refs() {
+			byID[string(ref.ID)] = append(byID[string(ref.ID)], ref.Name)
+		}
+		out := V2TablesResponse{Serving: serving}
+		for _, id := range s.store.IDs() {
+			out.Tables = append(out.Tables, V2TableInfo{
+				ID:      string(id),
+				Refs:    byID[string(id)],
+				Serving: string(id) == serving,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = EncodeJSON(w, out)
+	case http.MethodPost:
+		s.tableRequests.Add(1)
+		var req V2RegisterTableRequest
+		if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &req); err != nil {
+			httpError(w, decodeStatus(err), err)
+			return
+		}
+		lt, err := tabstore.Decode(req.Table)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		id, err := s.store.Put(lt)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		if req.Ref != "" {
+			if err := s.store.SetRef(req.Ref, id); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = EncodeJSON(w, V2RegisterTableResponse{ID: string(id), Ref: req.Ref})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
+	}
+}
+
+// handleTableByRef serves /v2/tables/{ref} (GET — ref names may contain
+// slashes, so routing is by prefix) and /v2/tables/{ref}/promote (POST).
+func (s *Server) handleTableByRef(w http.ResponseWriter, r *http.Request) {
+	ref := strings.TrimPrefix(r.URL.Path, "/v2/tables/")
+	if promoted := strings.TrimSuffix(ref, "/promote"); promoted != ref {
+		s.handlePromote(w, r, promoted)
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required (POST only on /v2/tables and /v2/tables/{ref}/promote)"))
+		return
+	}
+	s.tableRequests.Add(1)
+	lt, id, err := s.store.Resolve(ref)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	tj := tabstore.Encode(lt)
+	w.Header().Set("Content-Type", "application/json")
+	_ = EncodeJSON(w, V2TableResponse{ID: string(id), Table: tj})
+}
+
+// handlePromote atomically retargets the serving default at whatever the
+// ref resolves to right now. In-flight requests finish under the table
+// they started with; requests admitted after the swap evaluate (and cache)
+// under the new one — no restart, no cache poisoning, because result keys
+// carry the table's content address.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request, ref string) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.tableRequests.Add(1)
+	_, id, err := s.store.Resolve(ref)
+	if err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	s.serving.Store(id)
+	w.Header().Set("Content-Type", "application/json")
+	_ = EncodeJSON(w, V2PromoteResponse{Serving: string(id), Ref: ref})
+}
+
+// handleCalibrate ingests one calibration batch into the streaming
+// session and reports the estimator's state, the candidate table once
+// coverage is complete, and its drift against a reference.
+func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	s.calibrateRequests.Add(1)
+	var req V2CalibrateRequest
+	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &req); err != nil {
+		httpError(w, decodeStatus(err), err)
+		return
+	}
+	// Validate everything that can reject before touching the session —
+	// the register ref name and the drift reference — so a client retry
+	// after a 400 cannot double-ingest the batch.
+	if req.Register != "" {
+		if err := tabstore.ValidateRefName(req.Register); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	compareRef := req.Compare
+	var reference = s.servingID()
+	if compareRef != "" {
+		_, id, err := s.store.Resolve(compareRef)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		reference = id
+	}
+	refTable, ok := s.store.Get(reference)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("service: serving table %s missing from store", reference))
+		return
+	}
+
+	s.calibMu.Lock()
+	defer s.calibMu.Unlock()
+	if req.Reset || s.calibEng == nil {
+		s.calibEng = calib.New(calib.Config{})
+	}
+	if err := s.calibEng.Ingest(calib.Batch{Samples: req.Samples}); err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out := V2CalibrateResponse{Report: s.calibEng.Report()}
+	if cand, err := s.calibEng.Table(); err == nil {
+		tj := tabstore.Encode(cand)
+		out.Table = &tj
+		out.ID = string(tabstore.TableID(cand))
+		drift := calib.Drift(cand, refTable, req.Tolerance)
+		out.Drift = &drift
+		if req.Register != "" {
+			id, err := s.store.Put(cand)
+			if err != nil {
+				httpError(w, http.StatusUnprocessableEntity, err)
+				return
+			}
+			if err := s.store.SetRef(req.Register, id); err != nil {
+				httpError(w, http.StatusBadRequest, err)
+				return
+			}
+			out.Ref = req.Register
+		}
+	} else if req.Register != "" {
+		httpError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("cannot register %q: %w", req.Register, err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = EncodeJSON(w, out)
+}

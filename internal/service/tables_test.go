@@ -1,0 +1,385 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/calib"
+	"repro/internal/platform"
+	"repro/internal/tabstore"
+	"repro/wcet"
+)
+
+func getJSON(t testing.TB, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("decoding %s: %v\n%s", url, err, buf.Bytes())
+		}
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t testing.TB, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, got := post(t, url, raw)
+	if out != nil && status == http.StatusOK {
+		if err := json.Unmarshal(got, out); err != nil {
+			t.Fatalf("decoding %s response: %v\n%s", url, err, got)
+		}
+	}
+	return status
+}
+
+// respunTC27x scales every latency figure up 50% — a stand-in for respun
+// silicon whose characterisation genuinely changed.
+func respunTC27x() platform.LatencyTable {
+	lat := platform.TC27xLatencies()
+	for _, to := range platform.AccessPairs() {
+		l := lat[to.Target][to.Op]
+		l.Max, l.Min, l.Stall = l.Max*3/2, l.Min*3/2, l.Stall*3/2
+		lat[to.Target][to.Op] = l
+	}
+	return lat
+}
+
+func TestTablesListSeededDefault(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	var list V2TablesResponse
+	if status := getJSON(t, ts.URL+"/v2/tables", &list); status != http.StatusOK {
+		t.Fatalf("GET /v2/tables: %d", status)
+	}
+	wantID := string(tabstore.TableID(wcet.TC27x()))
+	if list.Serving != wantID {
+		t.Fatalf("serving %s, want seeded tc27x %s", list.Serving, wantID)
+	}
+	if len(list.Tables) != 1 || list.Tables[0].ID != wantID || !list.Tables[0].Serving {
+		t.Fatalf("tables: %+v", list.Tables)
+	}
+	if got := list.Tables[0].Refs; len(got) != 1 || got[0] != "tc27x/default" {
+		t.Fatalf("refs: %v", got)
+	}
+	if st := s.StatsSnapshot(); st.ServingTable != wantID {
+		t.Fatalf("stats serving table %s", st.ServingTable)
+	}
+
+	var one V2TableResponse
+	if status := getJSON(t, ts.URL+"/v2/tables/tc27x/default", &one); status != http.StatusOK {
+		t.Fatalf("GET /v2/tables/tc27x/default: %d", status)
+	}
+	if one.ID != wantID {
+		t.Fatalf("by-ref ID %s", one.ID)
+	}
+	if lt, err := tabstore.Decode(one.Table); err != nil || lt != wcet.TC27x() {
+		t.Fatalf("by-ref table: %v", err)
+	}
+	if status := getJSON(t, ts.URL+"/v2/tables/nonesuch", nil); status != http.StatusNotFound {
+		t.Fatalf("unknown ref: %d", status)
+	}
+}
+
+func TestRegisterAndResolveTableOverWire(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	respun := respunTC27x()
+	var reg V2RegisterTableResponse
+	status := postJSON(t, ts.URL+"/v2/tables", V2RegisterTableRequest{
+		Table: tabstore.Encode(respun),
+		Ref:   "tc27x/respin",
+	}, &reg)
+	if status != http.StatusOK {
+		t.Fatalf("POST /v2/tables: %d", status)
+	}
+	if want := string(tabstore.TableID(respun)); reg.ID != want {
+		t.Fatalf("registered ID %s, want %s", reg.ID, want)
+	}
+	if lt, id, err := s.TableStore().Resolve("tc27x/respin"); err != nil || string(id) != reg.ID || lt != respun {
+		t.Fatalf("store resolve after wire register: %v", err)
+	}
+
+	// Invalid tables are rejected before the store sees them.
+	bad := tabstore.Encode(respun)
+	bad.Paths["pf0/co"] = tabstore.Entry{LMax: 5, LMin: 9, Stall: 1}
+	if status := postJSON(t, ts.URL+"/v2/tables", V2RegisterTableRequest{Table: bad}, nil); status != http.StatusBadRequest {
+		t.Fatalf("invalid table register: %d", status)
+	}
+}
+
+// TestCalibratePromoteHotSwapEndToEnd is the acceptance path: calibrate a
+// table from simulator-emitted readings on a live server, register and
+// promote it over the wire, and observe /v2/analyze verdicts change with
+// no restart — while a table-pinned request still reaches the old version.
+func TestCalibratePromoteHotSwapEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	analyze := func(table string) V2Response {
+		t.Helper()
+		req := map[string]any{
+			"scenario":   1,
+			"models":     []string{"ftc"},
+			"analysed":   map[string]int64{"CCNT": 157800, "PS": 18000, "DS": 27000, "PM": 3000},
+			"contenders": []map[string]int64{{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}},
+		}
+		if table != "" {
+			req["table"] = table
+		}
+		var out V2Response
+		if status := postJSON(t, ts.URL+"/v2/analyze", req, &out); status != http.StatusOK {
+			t.Fatalf("/v2/analyze (table=%q): %d", table, status)
+		}
+		return out
+	}
+
+	before := analyze("")
+
+	// The respun silicon emits its readings through the simulator — the
+	// exact protocol cmd/aurixsim -emit-readings runs.
+	batch, err := calib.MeasureBatch(respunTC27x(), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cal V2CalibrateResponse
+	status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{
+		"samples":   batch.Samples,
+		"register":  "tc27x/respin",
+		"tolerance": 0.10,
+	}, &cal)
+	if status != http.StatusOK {
+		t.Fatalf("/v2/calibrate: %d", status)
+	}
+	if !cal.Report.Converged {
+		t.Fatalf("full simulator batch must converge: %+v", cal.Report)
+	}
+	if cal.Table == nil || cal.ID == "" || cal.Ref != "tc27x/respin" {
+		t.Fatalf("calibrate response lacks candidate/registration: %+v", cal)
+	}
+	if cal.Drift == nil || !cal.Drift.Drifted {
+		t.Fatal("a 50% respin must be reported as drifted against the serving table")
+	}
+
+	// Registration alone must not change serving behaviour.
+	if got := analyze(""); got.Estimates[0].WCETCycles != before.Estimates[0].WCETCycles {
+		t.Fatal("registering a table changed serving results before promote")
+	}
+
+	// Promote: atomic hot-swap, no restart.
+	resp, err := http.Post(ts.URL+"/v2/tables/tc27x/respin/promote", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom V2PromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&prom); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || prom.Serving != cal.ID {
+		t.Fatalf("promote: %d %+v", resp.StatusCode, prom)
+	}
+
+	// A changed characterisation must change the bound (the direction is
+	// not monotone: larger per-request latencies also shrink the access
+	// counts inferred from stall totals).
+	after := analyze("")
+	if after.Estimates[0].WCETCycles == before.Estimates[0].WCETCycles {
+		t.Fatalf("promote did not change served verdicts: still %d", after.Estimates[0].WCETCycles)
+	}
+
+	// The swapped-in behaviour must equal analysing under the calibrated
+	// table directly.
+	calibrated, err := tabstore.Decode(*cal.Table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := wcet.MustNewAnalyzer(wcet.WithLatencyTable(calibrated), wcet.WithModels("ftc"))
+	want, err := an.Analyze(context.Background(), wcet.Request{
+		Analysed:   wcet.Readings{CCNT: 157800, PS: 18000, DS: 27000, PM: 3000},
+		Contenders: []wcet.Readings{{CCNT: 500000, PS: 50000, DS: 60000, PM: 8000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Estimates[0].WCETCycles != want.Estimates[0].WCET() {
+		t.Fatalf("served bound %d != direct bound %d under the promoted table",
+			after.Estimates[0].WCETCycles, want.Estimates[0].WCET())
+	}
+
+	// Per-request pinning still reaches the old version by ref and by ID.
+	pinnedOld := analyze("tc27x/default")
+	if pinnedOld.Estimates[0].WCETCycles != before.Estimates[0].WCETCycles {
+		t.Fatal("table-pinned request did not evaluate under the pinned version")
+	}
+	if got := analyze(cal.ID); got.Estimates[0].WCETCycles != after.Estimates[0].WCETCycles {
+		t.Fatal("analysis pinned by table ID disagrees with serving default")
+	}
+
+	// /v2/tables now shows the new serving default.
+	var list V2TablesResponse
+	getJSON(t, ts.URL+"/v2/tables", &list)
+	if list.Serving != cal.ID || len(list.Tables) != 2 {
+		t.Fatalf("post-promote listing: %+v", list)
+	}
+}
+
+func TestCalibrateStreamsAcrossRequestsAndResets(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	batch, err := calib.MeasureBatch(platform.TC27xLatencies(), 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(batch.Samples) / 2
+
+	var first V2CalibrateResponse
+	if status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{"samples": batch.Samples[:half]}, &first); status != http.StatusOK {
+		t.Fatalf("first batch: %d", status)
+	}
+	if first.Report.Converged || first.Table != nil {
+		t.Fatal("half coverage must not yield a candidate")
+	}
+
+	var second V2CalibrateResponse
+	if status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{"samples": batch.Samples[half:]}, &second); status != http.StatusOK {
+		t.Fatalf("second batch: %d", status)
+	}
+	if !second.Report.Converged || second.Table == nil {
+		t.Fatalf("the session must accumulate across requests: %+v", second.Report)
+	}
+	if second.Report.TotalSamples != int64(len(batch.Samples)) {
+		t.Fatalf("session samples %d, want %d", second.Report.TotalSamples, len(batch.Samples))
+	}
+	if second.Drift == nil || second.Drift.Drifted {
+		t.Fatalf("calibrating the serving characterisation must not drift: %+v", second.Drift)
+	}
+
+	// Reset starts a fresh session.
+	var third V2CalibrateResponse
+	if status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{"samples": batch.Samples[:half], "reset": true}, &third); status != http.StatusOK {
+		t.Fatalf("reset batch: %d", status)
+	}
+	if third.Report.TotalSamples != int64(half) {
+		t.Fatalf("reset did not clear the session: %d samples", third.Report.TotalSamples)
+	}
+
+	// Registering before coverage is a client error.
+	if status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{
+		"samples": []calib.Sample{}, "register": "x/y",
+	}, nil); status != http.StatusUnprocessableEntity {
+		t.Fatalf("register without coverage: %d", status)
+	}
+}
+
+// TestCalibrateBadRegisterRefDoesNotConsumeBatch pins the retry safety
+// fixed in review: a rejected register ref must fail before ingestion, so
+// resending the same samples with a corrected ref does not double-count.
+func TestCalibrateBadRegisterRefDoesNotConsumeBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	samples := []calib.Sample{{
+		Path: "pf0/co", Accesses: 100, Prefetch: false,
+		Readings: wcet.Readings{CCNT: 1700, PS: 600},
+	}}
+	for _, badRef := range []string{"bad name", "a/promote", strings.Repeat("0", 64)} {
+		if status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{
+			"samples": samples, "register": badRef,
+		}, nil); status != http.StatusBadRequest {
+			t.Fatalf("register ref %q: status %d", badRef, status)
+		}
+	}
+	// Retry without register: the session must be empty — none of the
+	// rejected requests may have ingested.
+	var out V2CalibrateResponse
+	if status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{"samples": samples}, &out); status != http.StatusOK {
+		t.Fatalf("clean retry: %d", status)
+	}
+	if out.Report.TotalSamples != 1 {
+		t.Fatalf("rejected registers consumed the batch: %d samples", out.Report.TotalSamples)
+	}
+}
+
+func TestCalibrateRejectsPoisonedBatches(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	poisoned := []calib.Sample{{
+		Path: "pf0/co", Accesses: 100, Prefetch: false,
+		Readings: wcet.Readings{CCNT: 1700, PS: -600},
+	}}
+	status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{"samples": poisoned}, nil)
+	if status != http.StatusBadRequest {
+		t.Fatalf("poisoned batch: %d", status)
+	}
+	if status := postJSON(t, ts.URL+"/v2/calibrate", map[string]any{"compare": "nonesuch"}, nil); status != http.StatusBadRequest {
+		t.Fatalf("unknown compare ref: %d", status)
+	}
+	if st := s.StatsSnapshot(); st.CalibrateRequests != 2 {
+		t.Fatalf("calibrate counter: %d", st.CalibrateRequests)
+	}
+}
+
+// TestV2AnalyzeUnknownTableRejected pins the failure mode: a bad table
+// selection is a 400 before admission, not a 422 after evaluation.
+func TestV2AnalyzeUnknownTableRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := post(t, ts.URL+"/v2/analyze", []byte(`{
+		"scenario": 1, "table": "nonesuch",
+		"analysed": {"CCNT": 1000, "PS": 10, "DS": 10}
+	}`))
+	if status != http.StatusBadRequest || !strings.Contains(string(body), "unknown table ref") {
+		t.Fatalf("unknown table: %d %s", status, body)
+	}
+}
+
+// TestCLIRejectsTableSelection pins the CLI contract: without a store the
+// "table" field must error, not silently analyse under the default.
+func TestCLIRejectsTableSelection(t *testing.T) {
+	err := RunCLIV2(strings.NewReader(`{"scenario":1,"table":"tc27x/default","analysed":{"CCNT":1000}}`), &bytes.Buffer{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "table store") {
+		t.Fatalf("CLI table selection: %v", err)
+	}
+}
+
+// TestPersistentStoreSurvivesRestart drives the same lifecycle against a
+// disk-backed store and a fresh server process-equivalent: registrations
+// and refs persist; serving defaults to the configured ref on start.
+func TestPersistentStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	store, err := tabstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{TableStore: store})
+	respun := respunTC27x()
+	if status := postJSON(t, ts.URL+"/v2/tables", V2RegisterTableRequest{
+		Table: tabstore.Encode(respun), Ref: "tc27x/respin",
+	}, nil); status != http.StatusOK {
+		t.Fatalf("register: %d", status)
+	}
+
+	// "Restart": reopen the directory into a new store and server, now
+	// configured to serve the respin from boot.
+	store2, err := tabstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Config{TableStore: store2, DefaultTableRef: "tc27x/respin"})
+	if got := s2.StatsSnapshot().ServingTable; got != string(tabstore.TableID(respun)) {
+		t.Fatalf("restarted serving table %s", got)
+	}
+	var list V2TablesResponse
+	getJSON(t, ts2.URL+"/v2/tables", &list)
+	if len(list.Tables) != 2 {
+		t.Fatalf("restarted listing: %+v", list)
+	}
+}

@@ -18,6 +18,11 @@ import (
 // and exact PTACs so every registered model is reachable over the wire.
 type V2Request struct {
 	Scenario int `json:"scenario"`
+	// Table selects the latency-table version to analyse under — a named
+	// ref ("tc27x/default") or an immutable table ID from the daemon's
+	// store; empty selects the serving default. Only the daemon honours
+	// it (the CLI has no table store and rejects a selection).
+	Table string `json:"table,omitempty"`
 	// Models selects registered models by canonical name or alias; empty
 	// selects the v1 pair ["ftc", "ilpPtac"].
 	Models     []string       `json:"models,omitempty"`
@@ -222,8 +227,14 @@ func (r V2Request) Validate(reg *wcet.Registry) error {
 
 // EvaluateV2 runs the selected models (and the optional RTA step) on one
 // v2 request through an analyzer. Like Evaluate it is a pure function of
-// the request; the daemon calls it per cache miss.
+// the request; the daemon calls it per cache miss. A table selection is
+// rejected here: only the daemon carries the store that could resolve it
+// (it resolves Table to a content address before evaluation instead of
+// calling this helper).
 func EvaluateV2(an *wcet.Analyzer, req V2Request) (*V2Response, error) {
+	if req.Table != "" {
+		return nil, fmt.Errorf(`"table" selection requires the daemon's table store (POST the request to wcetd's /v2/analyze)`)
+	}
 	sdkReq, err := req.Prepare(an.Registry())
 	if err != nil {
 		return nil, err

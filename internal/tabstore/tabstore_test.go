@@ -1,0 +1,292 @@
+package tabstore
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+func scaled(base platform.LatencyTable, num, den int64) platform.LatencyTable {
+	for _, to := range platform.AccessPairs() {
+		l := base[to.Target][to.Op]
+		scale := func(v int64) int64 {
+			if v = v * num / den; v < 1 {
+				return 1
+			}
+			return v
+		}
+		l.Max, l.Min, l.Stall = scale(l.Max), scale(l.Min), scale(l.Stall)
+		if l.Min > l.Max {
+			l.Min = l.Max
+		}
+		if l.Stall > l.Max {
+			l.Stall = l.Max
+		}
+		base[to.Target][to.Op] = l
+	}
+	return base
+}
+
+func TestTableIDIsContentAddressed(t *testing.T) {
+	base := platform.TC27xLatencies()
+	if TableID(base) != TableID(platform.TC27xLatencies()) {
+		t.Fatal("identical tables must share an ID")
+	}
+	if TableID(base) == TableID(scaled(base, 150, 100)) {
+		t.Fatal("different tables must not share an ID")
+	}
+	if !TableID(base).Valid() {
+		t.Fatalf("TableID %q is not a valid ID", TableID(base))
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	base := platform.TC27xLatencies()
+	got, err := Decode(Encode(base))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got != base {
+		t.Fatalf("round trip changed the table:\n got %+v\nwant %+v", got, base)
+	}
+}
+
+func TestDecodeRejectsBadTables(t *testing.T) {
+	base := Encode(platform.TC27xLatencies())
+
+	missing := TableJSON{Paths: map[string]Entry{}}
+	for k, v := range base.Paths {
+		missing.Paths[k] = v
+	}
+	delete(missing.Paths, "pf0/co")
+	if _, err := Decode(missing); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing path: got %v", err)
+	}
+
+	unknown := TableJSON{Paths: map[string]Entry{}}
+	for k, v := range base.Paths {
+		unknown.Paths[k] = v
+	}
+	unknown.Paths["dfl/co"] = Entry{LMax: 1, LMin: 1, Stall: 1}
+	if _, err := Decode(unknown); err == nil || !strings.Contains(err.Error(), "unknown access path") {
+		t.Fatalf("illegal path: got %v", err)
+	}
+
+	invalid := TableJSON{Paths: map[string]Entry{}}
+	for k, v := range base.Paths {
+		invalid.Paths[k] = v
+	}
+	invalid.Paths["pf0/co"] = Entry{LMax: 10, LMin: 20, Stall: 5} // lmin > lmax
+	if _, err := Decode(invalid); err == nil {
+		t.Fatal("lmin > lmax must not decode")
+	}
+}
+
+func TestInMemoryPutGetResolve(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := platform.TC27xLatencies()
+	id, err := s.Put(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Put(base)
+	if err != nil || again != id {
+		t.Fatalf("re-Put: id %s err %v, want idempotent %s", again, err, id)
+	}
+	if got, ok := s.Get(id); !ok || got != base {
+		t.Fatal("Get after Put lost the table")
+	}
+	if err := s.SetRef("tc27x/default", id); err != nil {
+		t.Fatal(err)
+	}
+	lt, rid, err := s.Resolve("tc27x/default")
+	if err != nil || rid != id || lt != base {
+		t.Fatalf("Resolve by ref: %v %v %v", lt.Validate(), rid, err)
+	}
+	lt, rid, err = s.Resolve(string(id))
+	if err != nil || rid != id || lt != base {
+		t.Fatalf("Resolve by ID: %v %v", rid, err)
+	}
+	if _, _, err := s.Resolve("nonesuch"); err == nil {
+		t.Fatal("unknown ref must not resolve")
+	}
+}
+
+func TestRefRetargetIsAtomicAndListed(t *testing.T) {
+	s, _ := Open("")
+	base := platform.TC27xLatencies()
+	idA, _ := s.Put(base)
+	idB, _ := s.Put(scaled(base, 150, 100))
+	if err := s.SetRef("tc27x/default", idA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef("tc27x/default", idB); err != nil {
+		t.Fatal(err)
+	}
+	_, got, _ := s.Resolve("tc27x/default")
+	if got != idB {
+		t.Fatalf("retargeted ref resolves to %s, want %s", got, idB)
+	}
+	refs := s.Refs()
+	if len(refs) != 1 || refs[0].Name != "tc27x/default" || refs[0].ID != idB {
+		t.Fatalf("Refs: %+v", refs)
+	}
+	if ids := s.IDs(); len(ids) != 2 {
+		t.Fatalf("IDs: %v", ids)
+	}
+}
+
+func TestSetRefRejectsBadNamesAndUnknownTables(t *testing.T) {
+	s, _ := Open("")
+	id, _ := s.Put(platform.TC27xLatencies())
+	for _, bad := range []string{"", "/abs", "a//b", "a/../b", "..", "a b", "a/b/"} {
+		if err := s.SetRef(bad, id); err == nil {
+			t.Errorf("ref name %q must be rejected", bad)
+		}
+	}
+	if err := s.SetRef("ok/name", ID(strings.Repeat("0", 64))); err == nil {
+		t.Fatal("ref to unknown table must be rejected")
+	}
+}
+
+// TestRefNamesCannotShadowWireSurface pins two reserved shapes: a ref
+// named like a table ID would shadow that content address in Resolve
+// (breaking immutable-ID pinning), and a ref whose final segment is
+// "promote" would collide with the /v2/tables/{ref}/promote route.
+func TestRefNamesCannotShadowWireSurface(t *testing.T) {
+	s, _ := Open("")
+	base := platform.TC27xLatencies()
+	idA, _ := s.Put(base)
+	idB, _ := s.Put(scaled(base, 150, 100))
+
+	// Naming a ref after another table's ID must be rejected outright.
+	if err := s.SetRef(string(idA), idB); err == nil || !strings.Contains(err.Error(), "shaped like a table ID") {
+		t.Fatalf("ID-shaped ref name: %v", err)
+	}
+	// Pinning by ID therefore always reaches that table.
+	if _, got, err := s.Resolve(string(idA)); err != nil || got != idA {
+		t.Fatalf("Resolve by ID: %s %v", got, err)
+	}
+
+	for _, bad := range []string{"promote", "a/promote", "tc27x/lab/promote"} {
+		if err := s.SetRef(bad, idA); err == nil || !strings.Contains(err.Error(), "reserved") {
+			t.Errorf("ref name %q: %v", bad, err)
+		}
+	}
+	// "promote" elsewhere in the name stays legal.
+	if err := s.SetRef("promote/candidate", idA); err != nil {
+		t.Errorf("non-final promote segment: %v", err)
+	}
+}
+
+func TestPutRejectsInvalidTables(t *testing.T) {
+	s, _ := Open("")
+	var bad platform.LatencyTable // all-zero: non-positive latencies
+	if _, err := s.Put(bad); err == nil {
+		t.Fatal("invalid table must not be storable")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := platform.TC27xLatencies()
+	respin := scaled(base, 120, 100)
+	idA, err := s.Put(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idB, err := s.Put(respin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef("tc27x/default", idA); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRef("tc27x/respin", idB); err != nil {
+		t.Fatal(err)
+	}
+	// Retarget, then reopen: the rename must have landed.
+	if err := s.SetRef("tc27x/default", idB); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("reopened store has %d tables, want 2", s2.Len())
+	}
+	lt, id, err := s2.Resolve("tc27x/default")
+	if err != nil || id != idB || lt != respin {
+		t.Fatalf("reopened ref: id %s err %v", id, err)
+	}
+	if _, id, _ := s2.Resolve("tc27x/respin"); id != idB {
+		t.Fatalf("reopened second ref: %s", id)
+	}
+}
+
+func TestOpenRejectsTamperedTableFile(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	id, _ := s.Put(platform.TC27xLatencies())
+	path := filepath.Join(dir, "tables", string(id)+".json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(string(raw), `"lmax": 16`, `"lmax": 17`, 1)
+	if tampered == string(raw) {
+		t.Fatal("test setup: no lmax 16 in encoding")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "content changed") {
+		t.Fatalf("tampered table must fail verification, got %v", err)
+	}
+}
+
+func TestConcurrentPutAndResolve(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	base := platform.TC27xLatencies()
+	id, _ := s.Put(base)
+	if err := s.SetRef("serving", id); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			variant := scaled(base, int64(100+i), 100)
+			vid, err := s.Put(variant)
+			if err != nil {
+				t.Errorf("Put: %v", err)
+				return
+			}
+			if err := s.SetRef("serving", vid); err != nil {
+				t.Errorf("SetRef: %v", err)
+			}
+			if _, _, err := s.Resolve("serving"); err != nil {
+				t.Errorf("Resolve: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if _, id, err := s.Resolve("serving"); err != nil || !id.Valid() {
+		t.Fatalf("final resolve: %s %v", id, err)
+	}
+}

@@ -2,8 +2,10 @@
 # wcetd smoke test: start the daemon, POST one single and one batch
 # request, assert 200 + expected fields on both, POST a /v2/analyze
 # request selecting a single model and assert exactly that model's
-# estimate comes back, check live stats and the /v2/models listing, then
-# SIGTERM and assert a clean (exit 0, drained) shutdown.
+# estimate comes back, assert /v2/tables lists the seeded default table,
+# round-trip a simulator-emitted calibration batch through /v2/calibrate,
+# check live stats and the /v2/models listing, then SIGTERM and assert a
+# clean (exit 0, drained) shutdown.
 #
 # `make serve-smoke` and CI's wcetd-smoke job both run exactly this.
 set -euo pipefail
@@ -88,6 +90,36 @@ fi
 if [ "$(echo "$v2" | grep -c '"name":')" -ne 1 ]; then
   echo "serve-smoke: /v2/analyze returned more than the one selected model:" >&2
   echo "$v2" >&2
+  exit 1
+fi
+
+echo "serve-smoke: v2 tables list the seeded default"
+tables=$(curl -fsS "http://$ADDR/v2/tables")
+echo "$tables" | grep -q '"serving"'
+echo "$tables" | grep -q 'tc27x/default'
+serving=$(echo "$tables" | grep -o '"serving": "[0-9a-f]*"' | head -1 | grep -o '[0-9a-f]\{64\}')
+if [ -z "$serving" ]; then
+  echo "serve-smoke: /v2/tables serving id missing:" >&2
+  echo "$tables" >&2
+  exit 1
+fi
+
+echo "serve-smoke: v2 calibrate round-trip (simulator-emitted readings)"
+cal=$(go run ./cmd/aurixsim -emit-readings -accesses 200 \
+  | curl -fsS -X POST "http://$ADDR/v2/calibrate" --data-binary @-)
+echo "$cal" | grep -q '"converged": true'
+echo "$cal" | grep -q '"table"'
+echo "$cal" | grep -q '"drift"'
+# Calibrating the unchanged platform must reproduce the serving table:
+# same content address, no drift.
+if ! echo "$cal" | grep -q "\"id\": \"$serving\""; then
+  echo "serve-smoke: calibrated table does not match the serving default:" >&2
+  echo "$cal" >&2
+  exit 1
+fi
+if echo "$cal" | grep -q '"drifted": true'; then
+  echo "serve-smoke: unchanged platform reported drift:" >&2
+  echo "$cal" >&2
   exit 1
 fi
 

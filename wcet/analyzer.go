@@ -17,10 +17,21 @@ import (
 type Analyzer struct {
 	reg    *Registry
 	lat    LatencyTable
+	store  TableStore
 	sc     Scenario
 	models []string // canonical, resolved at construction
 	conc   int
 	cache  *estimateCache
+}
+
+// TableStore resolves named latency-table references — the SDK's view of
+// a versioned table store (internal/tabstore implements it). ResolveTable
+// maps a reference (a named ref like "tc27x/default" or an immutable
+// table ID) to the table and its content-addressed identity. It must be
+// safe for concurrent use; refs may be retargeted between calls, which is
+// exactly how a serving deployment hot-swaps characterisations.
+type TableStore interface {
+	ResolveTable(ref string) (LatencyTable, string, error)
 }
 
 // Option configures an Analyzer.
@@ -61,6 +72,21 @@ func WithLatencyTable(lat LatencyTable) Option {
 			return err
 		}
 		a.lat = lat
+		return nil
+	}
+}
+
+// WithTableStore attaches a versioned latency-table store: requests may
+// then select a characterisation per call via Request.TableRef (a named
+// ref or an immutable table ID) instead of analysing under the Analyzer's
+// fixed table. The estimate cache content-addresses the table, so hits
+// stay correct across table versions.
+func WithTableStore(ts TableStore) Option {
+	return func(a *Analyzer) error {
+		if ts == nil {
+			return fmt.Errorf("wcet: WithTableStore(nil)")
+		}
+		a.store = ts
 		return nil
 	}
 }
@@ -202,6 +228,11 @@ type Request struct {
 	// (any name, placement or flag set); leave it zero to analyse under
 	// the Analyzer's default.
 	Scenario Scenario
+	// TableRef selects the platform characterisation from the Analyzer's
+	// table store when non-empty — a named ref ("tc27x/default") or an
+	// immutable table ID. Requires WithTableStore; leave it empty to
+	// analyse under the Analyzer's fixed table.
+	TableRef string
 	// StallMode and DropContenderInfo tune the ILP-based models.
 	StallMode         StallMode
 	DropContenderInfo bool
@@ -288,13 +319,27 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 	if !scenarioIsZero(req.Scenario) {
 		sc = req.Scenario
 	}
+	lat := &a.lat
+	if req.TableRef != "" {
+		if a.store == nil {
+			return nil, fmt.Errorf("wcet: request selects table %q but the Analyzer has no table store (use WithTableStore)", req.TableRef)
+		}
+		resolved, _, err := a.store.ResolveTable(req.TableRef)
+		if err != nil {
+			return nil, err
+		}
+		if err := resolved.Validate(); err != nil {
+			return nil, fmt.Errorf("wcet: table %q: %w", req.TableRef, err)
+		}
+		lat = &resolved
+	}
 	in := Input{
 		Analysed:          req.Analysed,
 		Contenders:        req.Contenders,
 		Templates:         req.Templates,
 		AnalysedPTAC:      req.AnalysedPTAC,
 		ContenderPTACs:    req.ContenderPTACs,
-		Latencies:         &a.lat,
+		Latencies:         lat,
 		Scenario:          sc,
 		StallMode:         req.StallMode,
 		DropContenderInfo: req.DropContenderInfo,

@@ -31,6 +31,14 @@
 // once, and [Analyzer.Analyze] then composes validation, model fan-out
 // and an optional response-time-analysis verdict in one call.
 //
+// A [TableStore] makes the platform characterisation itself versioned:
+// [WithTableStore] attaches a store of content-addressed latency tables
+// (internal/tabstore is the shipped implementation), and Request.TableRef
+// then selects a table per call by named ref ("tc27x/default") or
+// immutable ID. Estimate-cache keys content-address the table, so
+// retargeting a ref — the serving layer's hot-swap — can never surface a
+// stale bound.
+//
 // # Quick use
 //
 //	an, err := wcet.NewAnalyzer(wcet.WithModels("ftc", "ilpPtac"))
@@ -53,6 +61,18 @@
 //	reg := wcet.NewDefaultRegistry()
 //	err := reg.Register(myModel, "myAlias")
 //	an, err := wcet.NewAnalyzer(wcet.WithRegistry(reg), wcet.WithModels("myModel"))
+//
+// # Table lifecycle
+//
+// The serving workflow for re-measured silicon is calibrate → register →
+// promote → analyze: a calibration rig streams DSU counter batches into
+// the estimator (internal/calib, or wcetd's POST /v2/calibrate), the
+// converged candidate is registered in the table store under a ref, the
+// ref is promoted to the serving default (wcetd's
+// POST /v2/tables/{ref}/promote — an atomic hot-swap, no restart), and
+// subsequent analyses evaluate under it. Every consumer that caches
+// results keys them by the table's content address, so versions never
+// bleed into each other.
 //
 // # Versioning
 //

@@ -1,0 +1,171 @@
+package wcet
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/tabstore"
+)
+
+// fakeStore is a minimal TableStore for unit tests.
+type fakeStore struct {
+	tables map[string]LatencyTable
+}
+
+func (f *fakeStore) ResolveTable(ref string) (LatencyTable, string, error) {
+	lt, ok := f.tables[ref]
+	if !ok {
+		return LatencyTable{}, "", fmt.Errorf("fake: unknown ref %q", ref)
+	}
+	return lt, "id-" + ref, nil
+}
+
+func slowTC27x() LatencyTable {
+	lat := TC27x()
+	for _, to := range AccessPaths() {
+		l := lat[to.Target][to.Op]
+		l.Max *= 2
+		if l.Min > l.Max {
+			l.Min = l.Max
+		}
+		lat[to.Target][to.Op] = l
+	}
+	return lat
+}
+
+func TestAnalyzerTableRefSelectsStoreTable(t *testing.T) {
+	slow := slowTC27x()
+	store := &fakeStore{tables: map[string]LatencyTable{
+		"tc27x/default": TC27x(),
+		"tc27x/slow":    slow,
+	}}
+	an := MustNewAnalyzer(WithTableStore(store), WithModels("ftc"))
+
+	base, err := an.Analyze(context.Background(), testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest()
+	req.TableRef = "tc27x/default"
+	viaRef, err := an.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaRef.Estimates[0].WCET() != base.Estimates[0].WCET() {
+		t.Fatalf("default-table ref %d != fixed table %d", viaRef.Estimates[0].WCET(), base.Estimates[0].WCET())
+	}
+
+	req.TableRef = "tc27x/slow"
+	slowRes, err := an.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doubled contender latencies must strictly worsen the fTC bound.
+	if slowRes.Estimates[0].WCET() <= base.Estimates[0].WCET() {
+		t.Fatalf("slow table bound %d not above base %d", slowRes.Estimates[0].WCET(), base.Estimates[0].WCET())
+	}
+
+	// And it must equal analysing under that table directly.
+	direct := MustNewAnalyzer(WithLatencyTable(slow), WithModels("ftc"))
+	want, err := direct.Analyze(context.Background(), testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowRes.Estimates[0].WCET() != want.Estimates[0].WCET() {
+		t.Fatalf("table-ref analysis %d != direct analysis %d", slowRes.Estimates[0].WCET(), want.Estimates[0].WCET())
+	}
+}
+
+func TestAnalyzerTableRefErrors(t *testing.T) {
+	an := MustNewAnalyzer(WithModels("ftc"))
+	req := testRequest()
+	req.TableRef = "tc27x/default"
+	if _, err := an.Analyze(context.Background(), req); err == nil || !strings.Contains(err.Error(), "no table store") {
+		t.Fatalf("TableRef without a store: %v", err)
+	}
+
+	withStore := MustNewAnalyzer(WithModels("ftc"), WithTableStore(&fakeStore{tables: map[string]LatencyTable{}}))
+	if _, err := withStore.Analyze(context.Background(), req); err == nil || !strings.Contains(err.Error(), "unknown ref") {
+		t.Fatalf("unknown ref: %v", err)
+	}
+
+	// A store handing back an invalid table must be caught before models run.
+	bad := &fakeStore{tables: map[string]LatencyTable{"broken": {}}}
+	req.TableRef = "broken"
+	if _, err := MustNewAnalyzer(WithModels("ftc"), WithTableStore(bad)).Analyze(context.Background(), req); err == nil {
+		t.Fatal("invalid store table must fail analysis")
+	}
+
+	if _, err := NewAnalyzer(WithTableStore(nil)); err == nil {
+		t.Fatal("WithTableStore(nil) must fail construction")
+	}
+}
+
+// TestAnalyzerCacheKeysTableContent drives one Analyzer with a cache over
+// two table versions behind the same moving ref: retargeting the ref must
+// not serve a stale estimate, because keys address table content.
+func TestAnalyzerCacheKeysTableContent(t *testing.T) {
+	store := &fakeStore{tables: map[string]LatencyTable{"serving": TC27x()}}
+	an := MustNewAnalyzer(WithTableStore(store), WithModels("ftc"), WithCache(64))
+
+	req := testRequest()
+	req.TableRef = "serving"
+	first, err := an.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := an.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := an.CacheStats(); hits != 1 {
+		t.Fatalf("identical request must hit the estimate cache, hits=%d", hits)
+	}
+	if again.Estimates[0].WCET() != first.Estimates[0].WCET() {
+		t.Fatal("cache hit changed the bound")
+	}
+
+	// Hot-swap the ref target; the same request must now miss and
+	// produce the new table's bound.
+	store.tables["serving"] = slowTC27x()
+	swapped, err := an.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped.Estimates[0].WCET() == first.Estimates[0].WCET() {
+		t.Fatal("retargeted ref served a stale cached estimate")
+	}
+}
+
+// TestTabstoreImplementsTableStore pins the adapter: the real versioned
+// store must satisfy the SDK interface and round-trip a stored table.
+func TestTabstoreImplementsTableStore(t *testing.T) {
+	var _ TableStore = (*tabstore.Store)(nil)
+	store, err := tabstore.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := store.Put(TC27x())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetRef("tc27x/default", id); err != nil {
+		t.Fatal(err)
+	}
+	an := MustNewAnalyzer(WithTableStore(store), WithModels("ftc"))
+	req := testRequest()
+	req.TableRef = "tc27x/default"
+	res, err := an.Analyze(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := MustNewAnalyzer(WithModels("ftc")).Analyze(context.Background(), testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimates[0].WCET() != base.Estimates[0].WCET() {
+		t.Fatalf("stored default table bound %d != builtin %d", res.Estimates[0].WCET(), base.Estimates[0].WCET())
+	}
+}
