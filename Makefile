@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 GOVULNCHECK ?= govulncheck
 
-.PHONY: all build test race bench fmt lint vuln serve-smoke
+.PHONY: all build test race bench bench-gate fmt lint vuln serve-smoke
 
 all: build lint test
 
@@ -20,6 +20,13 @@ race:
 
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench-gate = run the cold-solve benchmarks (repeated samples), aggregate
+# into bench.json, and fail on p50/allocs regression against the last
+# committed BENCH_<pr>.json trajectory point. Tune with BENCH_GATE_* (see
+# scripts/bench_gate.sh and docs/BENCHMARKING.md).
+bench-gate:
+	bash scripts/bench_gate.sh
 
 fmt:
 	gofmt -w .

@@ -104,6 +104,11 @@ func BenchmarkTable5Tailoring(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(est.ContentionCycles), "bound_cycles")
+			// Node count is the cost driver behind the ns/op above: the
+			// BENCH_<pr>.json trajectory tracks it so a solver regression
+			// that doubles the tree stays visible even when wall time hides
+			// inside machine noise.
+			b.ReportMetric(float64(est.Nodes), "nodes")
 		})
 	}
 }

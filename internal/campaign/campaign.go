@@ -162,6 +162,25 @@ feed:
 	return outcomes
 }
 
+// Batch maps every item through fn on e's worker pool — the batched solve
+// entry point the serving layer's /v1/batch fan-out and the experiments
+// grids run on. It is All without the per-item closure ceremony: one
+// outcome per item, in input order, per-item errors, bounded by the
+// engine's shared slot semaphore. Because a batch drains through the one
+// engine pool, consecutive solves land on a bounded set of goroutines and
+// the solver pools in internal/ilp re-serve their tableau arenas instead
+// of growing fresh state per cell.
+func Batch[In, Out any](ctx context.Context, e *Engine, items []In, fn func(context.Context, In) (Out, error)) []Outcome[Out] {
+	jobs := make([]Job[Out], len(items))
+	for i := range items {
+		item := items[i]
+		jobs[i] = func(ctx context.Context) (Out, error) {
+			return fn(ctx, item)
+		}
+	}
+	return All(ctx, e, jobs)
+}
+
 // Collect runs every job on e's worker pool and returns the values in
 // input order. If any cell failed, it returns the values gathered so far
 // alongside an error joining every per-cell failure (each annotated with

@@ -91,6 +91,11 @@ type Estimate struct {
 	// Decomposition, when the model solves an ILP, holds the worst-case
 	// per-target request mapping it found, keyed by variable name.
 	Decomposition map[string]int64
+	// Nodes, when the model solves an ILP, is the number of branch &
+	// bound nodes the solve explored — the cost driver behind every
+	// BENCH_<pr>.json trajectory point, surfaced so benchmarks and
+	// regression gates can track search effort alongside wall time.
+	Nodes int
 }
 
 // WCET returns the contention-aware WCET estimate in cycles.

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"strconv"
+
+	"repro/internal/platform"
+)
+
+// accessPairs caches platform.AccessPairs(): the list is immutable and the
+// model builders iterate it several times per estimate, so the hot path
+// must not re-derive (and re-allocate) it per use. Throughout the builder,
+// a "pair index" is a position in this slice.
+var accessPairs = platform.AccessPairs()
+
+// pairIdx maps (target, op) back to its pair index, or -1 for illegal
+// paths.
+var pairIdx = func() [platform.NumTargets][platform.NumOps]int {
+	var m [platform.NumTargets][platform.NumOps]int
+	for t := range m {
+		for o := range m[t] {
+			m[t][o] = -1
+		}
+	}
+	for i, to := range accessPairs {
+		m[to.Target][to.Op] = i
+	}
+	return m
+}()
+
+// targetPairs lists, per target, the pair indices legal on it in Ops
+// order — the iteration order of the per-target constraint rows.
+var targetPairs = func() [platform.NumTargets][]int {
+	var m [platform.NumTargets][]int
+	for _, t := range platform.Targets {
+		for _, o := range platform.Ops {
+			if i := pairIdx[t][o]; i >= 0 {
+				m[t] = append(m[t], i)
+			}
+		}
+	}
+	return m
+}()
+
+// pairSuf holds each pair's bracketed variable-name suffix
+// ("[pf0/co]", ...), indexed by pair index. Variable names are built from
+// these cached pieces rather than through fmt.Sprintf, which profiling
+// shows dominating small-instance model builds.
+var pairSuf = func() []string {
+	s := make([]string, len(accessPairs))
+	for i, to := range accessPairs {
+		s[i] = "[" + to.String() + "]"
+	}
+	return s
+}()
+
+// nameCacheContenders is how many contenders get fully pre-built variable
+// names; the paper's evaluation uses one, so four is already generous.
+// Larger indices fall back to on-demand concatenation.
+const nameCacheContenders = 4
+
+var naNames = buildPairNames("na")
+
+var nbNameTab = func() [][]string {
+	t := make([][]string, nameCacheContenders)
+	for bi := range t {
+		t[bi] = buildPairNames("nb" + strconv.Itoa(bi))
+	}
+	return t
+}()
+
+var xNameTab = func() [][]string {
+	t := make([][]string, nameCacheContenders)
+	for bi := range t {
+		t[bi] = buildPairNames("x" + strconv.Itoa(bi))
+	}
+	return t
+}()
+
+func buildPairNames(prefix string) []string {
+	s := make([]string, len(accessPairs))
+	for i := range accessPairs {
+		s[i] = prefix + pairSuf[i]
+	}
+	return s
+}
+
+// biLabel renders a contender index ("b0", "b1", ...).
+func biLabel(bi int) string { return "b" + strconv.Itoa(bi) }
+
+// taskVarName names the n^{t,o} variable of the analysed task (bi < 0) or
+// of contender bi.
+func taskVarName(bi, pi int) string {
+	if bi < 0 {
+		return naNames[pi]
+	}
+	return nbVarName(bi, pi)
+}
+
+func nbVarName(bi, pi int) string {
+	if bi < nameCacheContenders {
+		return nbNameTab[bi][pi]
+	}
+	return "n" + biLabel(bi) + pairSuf[pi]
+}
+
+func xVarName(bi, pi int) string {
+	if bi < nameCacheContenders {
+		return xNameTab[bi][pi]
+	}
+	return "x" + strconv.Itoa(bi) + pairSuf[pi]
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dsu"
 	"repro/internal/ilp"
@@ -58,11 +59,40 @@ type PTACOptions struct {
 	Gap float64
 }
 
-// ptacBuilder accumulates the ILP formulation.
+// ptacBuilder accumulates the ILP formulation. Builders are pooled: every
+// slice below is scratch that survives between estimates so the model
+// build allocates almost nothing in the steady state. Variable slices are
+// indexed by pair index (position in accessPairs).
 type ptacBuilder struct {
 	p    *ilp.Problem
 	in   Input
 	opts PTACOptions
+
+	na, nb, xs       []ilp.Var
+	nbAll, xsAll     []ilp.Var // per-contender handles, bi*len(accessPairs)+pi
+	coTerms, daTerms []ilp.Term
+	terms, tgtTerms  []ilp.Term
+	pruned           []bool
+}
+
+// builderPool recycles ptacBuilders (and with them their ilp.Problems,
+// term arenas, and relaxation storage) across estimates — including
+// across concurrently handled service requests; a builder is bound to at
+// most one estimate at a time.
+var builderPool = sync.Pool{New: func() any { return &ptacBuilder{p: ilp.New()} }}
+
+func newPTACBuilder(in Input, opts PTACOptions) *ptacBuilder {
+	b := builderPool.Get().(*ptacBuilder)
+	b.p.Reset()
+	b.in, b.opts = in, opts
+	return b
+}
+
+// release returns the builder to the pool, dropping input references so
+// pooled builders do not pin caller data.
+func (b *ptacBuilder) release() {
+	b.in = Input{}
+	builderPool.Put(b)
 }
 
 // ILPPTAC computes the partially time-composable ILP-PTAC bound (paper
@@ -83,23 +113,27 @@ func ILPPTAC(in Input, opts PTACOptions) (Estimate, error) {
 		return Estimate{}, fmt.Errorf("core: ILP-PTAC needs at least one contender measurement")
 	}
 
-	b := &ptacBuilder{p: ilp.New(), in: in, opts: opts}
+	b := newPTACBuilder(in, opts)
+	defer b.release()
 
 	// n^{t,o}_a plus its stall decomposition (Eq. 20-21) and tailoring.
-	na := b.addTaskVars("a")
-	b.addStallConstraints(na, in.A)
-	b.addTailoring(na, in.A)
+	b.na = b.addTaskVars(-1, b.na)
+	b.addStallConstraints(b.na, in.A)
+	b.addTailoring(b.na, in.A)
 
+	b.nbAll, b.xsAll = b.nbAll[:0], b.xsAll[:0]
 	for bi, rb := range in.B {
 		// n^{t,o}_b plus Eq. 22-23 and tailoring (deployment
 		// configurations apply equally to contenders, §4.1) — unless the
 		// contender-information ablation drops them.
-		nb := b.addTaskVars(fmt.Sprintf("b%d", bi))
+		b.nb = b.addTaskVars(bi, b.nb)
 		if !opts.DropContenderInfo {
-			b.addStallConstraints(nb, rb)
-			b.addTailoring(nb, rb)
+			b.addStallConstraints(b.nb, rb)
+			b.addTailoring(b.nb, rb)
 		}
-		b.addInterference(bi, na, nb, rb)
+		b.addInterference(bi, b.na, b.nb, rb, nil)
+		b.nbAll = append(b.nbAll, b.nb...)
+		b.xsAll = append(b.xsAll, b.xs...)
 	}
 
 	gap := opts.Gap
@@ -112,11 +146,11 @@ func ILPPTAC(in Input, opts PTACOptions) (Estimate, error) {
 	}
 
 	decomp := make(map[string]int64)
-	for _, to := range platform.AccessPairs() {
-		decomp[fmt.Sprintf("na[%s]", to)] = sol.Int(fmt.Sprintf("na[%s]", to))
+	for pi := range accessPairs {
+		decomp[naNames[pi]] = sol.IntOf(b.na[pi])
 		for bi := range in.B {
-			decomp[fmt.Sprintf("nb%d[%s]", bi, to)] = sol.Int(fmt.Sprintf("nb%d[%s]", bi, to))
-			decomp[fmt.Sprintf("x%d[%s]", bi, to)] = sol.Int(fmt.Sprintf("x%d[%s]", bi, to))
+			decomp[nbVarName(bi, pi)] = sol.IntOf(b.nbAll[bi*len(accessPairs)+pi])
+			decomp[xVarName(bi, pi)] = sol.IntOf(b.xsAll[bi*len(accessPairs)+pi])
 		}
 	}
 
@@ -132,57 +166,61 @@ func ILPPTAC(in Input, opts PTACOptions) (Estimate, error) {
 		IsolationCycles:  in.A.CCNT,
 		ContentionCycles: int64(sol.UpperBound + 0.5),
 		Decomposition:    decomp,
+		Nodes:            sol.Nodes,
 	}, nil
 }
 
-// addTaskVars creates the seven n^{t,o} variables of one task. Placement-
-// derived zero pins always apply: a deployment that puts no code or data
-// on a target cannot generate that traffic, whoever the task is.
-func (b *ptacBuilder) addTaskVars(label string) map[platform.TargetOp]ilp.Var {
-	vars := make(map[platform.TargetOp]ilp.Var, 7)
-	for _, to := range platform.AccessPairs() {
+// addTaskVars creates the seven n^{t,o} variables of one task (bi < 0 for
+// the analysed task) into dst, indexed by pair index. Placement-derived
+// zero pins always apply: a deployment that puts no code or data on a
+// target cannot generate that traffic, whoever the task is.
+func (b *ptacBuilder) addTaskVars(bi int, dst []ilp.Var) []ilp.Var {
+	dst = dst[:0]
+	for pi, to := range accessPairs {
 		hi := ilp.Inf
 		if !b.in.Scenario.Deploy.MayAccess(to.Target, to.Op) {
 			hi = 0
 		}
-		vars[to] = b.p.AddInt(fmt.Sprintf("n%s[%s]", label, to), 0, hi)
+		dst = append(dst, b.p.AddInt(taskVarName(bi, pi), 0, hi))
 	}
-	return vars
+	return dst
 }
 
 // addStallConstraints encodes Eq. 20-23 for one task: the observed code and
 // data stall totals constrain the cs^{t,o}-weighted sums of its per-target
 // counts.
-func (b *ptacBuilder) addStallConstraints(vars map[platform.TargetOp]ilp.Var, r dsu.Readings) {
+func (b *ptacBuilder) addStallConstraints(vars []ilp.Var, r dsu.Readings) {
 	sense := ilp.LE
 	if b.opts.StallMode == StallExact {
 		sense = ilp.EQ
 	}
-	var coTerms, daTerms []ilp.Term
-	for _, to := range platform.AccessPairs() {
-		term := ilp.Term{Var: vars[to], Coeff: float64(b.in.Lat.MinStall(to.Target, to.Op))}
+	coTerms, daTerms := b.coTerms[:0], b.daTerms[:0]
+	for pi, to := range accessPairs {
+		term := ilp.Term{Var: vars[pi], Coeff: float64(b.in.Lat.MinStall(to.Target, to.Op))}
 		if to.Op == platform.Code {
 			coTerms = append(coTerms, term)
 		} else {
 			daTerms = append(daTerms, term)
 		}
 	}
+	b.coTerms, b.daTerms = coTerms, daTerms
 	b.p.Add(coTerms, sense, float64(r.PS))
 	b.p.Add(daTerms, sense, float64(r.DS))
 }
 
 // addTailoring encodes the Table 5 counter constraints for one task.
-func (b *ptacBuilder) addTailoring(vars map[platform.TargetOp]ilp.Var, r dsu.Readings) {
+func (b *ptacBuilder) addTailoring(vars []ilp.Var, r dsu.Readings) {
 	sc := b.in.Scenario
 	if sc.CodeCountExact {
 		// All SRI code is cacheable, so PCACHE_MISS counts SRI code
 		// requests exactly: Σ_t n^{t,co} = PM.
-		var terms []ilp.Term
+		terms := b.terms[:0]
 		for _, t := range platform.Targets {
-			if platform.CanAccess(t, platform.Code) && sc.Deploy.MayAccess(t, platform.Code) {
-				terms = append(terms, ilp.Term{Var: vars[platform.TargetOp{Target: t, Op: platform.Code}], Coeff: 1})
+			if pi := pairIdx[t][platform.Code]; pi >= 0 && sc.Deploy.MayAccess(t, platform.Code) {
+				terms = append(terms, ilp.Term{Var: vars[pi], Coeff: 1})
 			}
 		}
+		b.terms = terms
 		if len(terms) > 0 {
 			b.p.Add(terms, ilp.EQ, float64(r.PM))
 		}
@@ -191,12 +229,13 @@ func (b *ptacBuilder) addTailoring(vars map[platform.TargetOp]ilp.Var, r dsu.Rea
 		// The D-cache miss counters give the cacheable data requests but
 		// not their targets; non-cacheable accesses add on top, so the
 		// sum of data PTACs is at least DMC + DMD.
-		var terms []ilp.Term
+		terms := b.terms[:0]
 		for _, t := range platform.Targets {
-			if platform.CanAccess(t, platform.Data) && sc.Deploy.MayAccess(t, platform.Data) {
-				terms = append(terms, ilp.Term{Var: vars[platform.TargetOp{Target: t, Op: platform.Data}], Coeff: 1})
+			if pi := pairIdx[t][platform.Data]; pi >= 0 && sc.Deploy.MayAccess(t, platform.Data) {
+				terms = append(terms, ilp.Term{Var: vars[pi], Coeff: 1})
 			}
 		}
+		b.terms = terms
 		if len(terms) > 0 {
 			b.p.Add(terms, ilp.GE, float64(r.DMC+r.DMD))
 		}
@@ -205,31 +244,52 @@ func (b *ptacBuilder) addTailoring(vars map[platform.TargetOp]ilp.Var, r dsu.Rea
 
 // addInterference creates the interference variables x^{t,o}_{bi→a} with
 // the constraint blocks of Eq. 10-19 and their objective terms (Eq. 9).
-func (b *ptacBuilder) addInterference(bi int, na, nb map[platform.TargetOp]ilp.Var, rb dsu.Readings) {
-	xs := make(map[platform.TargetOp]ilp.Var, 7)
-	for _, to := range platform.AccessPairs() {
-		x := b.p.AddInt(fmt.Sprintf("x%d[%s]", bi, to), 0, ilp.Inf)
-		xs[to] = x
+//
+// pruned (may be nil) marks access paths proven dominated by the caller —
+// paths on which this contender can inflict no interference, indexed by
+// pair index. A pruned path's x variable is pinned to zero, so the ilp
+// presolve substitutes it out before the LP is ever built, and its
+// bounding rows — vacuous once x is zero, since counts are non-negative —
+// are omitted entirely.
+func (b *ptacBuilder) addInterference(bi int, na, nb []ilp.Var, rb dsu.Readings, pruned []bool) {
+	xs := b.xs[:0]
+	for pi, to := range accessPairs {
+		hi := ilp.Inf
+		if pruned != nil && pruned[pi] {
+			hi = 0
+		}
+		x := b.p.AddInt(xVarName(bi, pi), 0, hi)
+		xs = append(xs, x)
 		b.p.SetObjective(x, float64(b.interferenceLatency(rb, to)))
+		if pruned != nil && pruned[pi] {
+			continue
+		}
 
 		// Eq. 10-12/14-15/17-18, one pair per (target, op): bounded by
 		// the contender's requests of that type and by the analysed
 		// task's requests on the target (either type can be delayed).
-		b.p.Add([]ilp.Term{{Var: x, Coeff: 1}, {Var: nb[to], Coeff: -1}}, ilp.LE, 0)
-		terms := []ilp.Term{{Var: x, Coeff: 1}}
-		terms = append(terms, targetTerms(na, to.Target, -1)...)
+		terms := append(b.terms[:0], ilp.Term{Var: x, Coeff: 1}, ilp.Term{Var: nb[pi], Coeff: -1})
+		b.p.Add(terms, ilp.LE, 0)
+		terms = append(terms[:1], b.targetTerms(na, to.Target, -1)...)
+		b.terms = terms
 		b.p.Add(terms, ilp.LE, 0)
 	}
+	b.xs = xs
 	// Eq. 13/16/19 (and the dfl analogue): cumulative conflicts on a
 	// target cannot exceed the analysed task's requests there.
 	for _, t := range platform.Targets {
-		var terms []ilp.Term
-		for _, o := range platform.Ops {
-			if platform.CanAccess(t, o) {
-				terms = append(terms, ilp.Term{Var: xs[platform.TargetOp{Target: t, Op: o}], Coeff: 1})
+		terms := b.terms[:0]
+		for _, pi := range targetPairs[t] {
+			if pruned == nil || !pruned[pi] {
+				terms = append(terms, ilp.Term{Var: xs[pi], Coeff: 1})
 			}
 		}
-		terms = append(terms, targetTerms(na, t, -1)...)
+		if len(terms) == 0 {
+			b.terms = terms
+			continue // every path on this target is dominated
+		}
+		terms = append(terms, b.targetTerms(na, t, -1)...)
+		b.terms = terms
 		b.p.Add(terms, ilp.LE, 0)
 	}
 }
@@ -249,7 +309,7 @@ func (b *ptacBuilder) interferenceLatency(rb dsu.Readings, to platform.TargetOp)
 // request latency, i.e. the bound may be loose by at most one transaction.
 func defaultGap(lat *platform.LatencyTable) float64 {
 	var lMax int64
-	for _, to := range platform.AccessPairs() {
+	for _, to := range accessPairs {
 		if l := lat.MaxLatency(to.Target, to.Op); l > lMax {
 			lMax = l
 		}
@@ -258,13 +318,13 @@ func defaultGap(lat *platform.LatencyTable) float64 {
 }
 
 // targetTerms returns coeff * n^{t,o} terms for every operation type legal
-// on target t.
-func targetTerms(vars map[platform.TargetOp]ilp.Var, t platform.Target, coeff float64) []ilp.Term {
-	var terms []ilp.Term
-	for _, o := range platform.Ops {
-		if platform.CanAccess(t, o) {
-			terms = append(terms, ilp.Term{Var: vars[platform.TargetOp{Target: t, Op: o}], Coeff: coeff})
-		}
+// on target t, from a builder-owned scratch buffer (valid until the next
+// call).
+func (b *ptacBuilder) targetTerms(vars []ilp.Var, t platform.Target, coeff float64) []ilp.Term {
+	terms := b.tgtTerms[:0]
+	for _, pi := range targetPairs[t] {
+		terms = append(terms, ilp.Term{Var: vars[pi], Coeff: coeff})
 	}
+	b.tgtTerms = terms
 	return terms
 }

@@ -61,26 +61,53 @@ func ILPPTACTemplate(a Input, templates []Template, opts PTACOptions) (Estimate,
 		}
 	}
 
-	b := &ptacBuilder{p: ilp.New(), in: a, opts: opts}
-	na := b.addTaskVars("a")
-	b.addStallConstraints(na, a.A)
-	b.addTailoring(na, a.A)
+	b := newPTACBuilder(a, opts)
+	defer b.release()
+	b.na = b.addTaskVars(-1, b.na)
+	b.addStallConstraints(b.na, a.A)
+	b.addTailoring(b.na, a.A)
 
+	// Dominance pre-pruning. A template path (t, o) can inflict no
+	// interference — and therefore never needs to reach the LP — when any
+	// of three conditions holds: the contract pledges zero requests on it
+	// (absent MaxRequests entries mean zero), the deployment pins it
+	// (Eq. 10-19's nb bound is zero either way), or the analysed task
+	// cannot be delayed on its target because the deployment gives τa no
+	// access to t at all (then Eq. 13/16/19 forces x^{t,·} = 0). Pruned
+	// paths get their nb and x variables pinned to zero, which the ilp
+	// presolve substitutes out before the LP is built.
+	var reachable [platform.NumTargets]bool
+	for _, to := range accessPairs {
+		if a.Scenario.Deploy.MayAccess(to.Target, to.Op) {
+			reachable[to.Target] = true
+		}
+	}
+
+	b.nbAll, b.xsAll = b.nbAll[:0], b.xsAll[:0]
 	for bi, tp := range templates {
-		nb := make(map[platform.TargetOp]ilp.Var, 7)
-		for _, to := range platform.AccessPairs() {
+		nb := b.nb[:0]
+		pruned := b.pruned[:0]
+		for pi, to := range accessPairs {
 			// The contract pins the contender's counts directly; the
 			// deployment pin still applies on top.
 			hi := float64(tp.MaxRequests[to])
 			if !a.Scenario.Deploy.MayAccess(to.Target, to.Op) {
 				hi = 0
 			}
-			nb[to] = b.p.AddInt(fmt.Sprintf("nb%d[%s]", bi, to), 0, hi)
+			prune := hi == 0 || !reachable[to.Target]
+			if prune {
+				hi = 0
+			}
+			pruned = append(pruned, prune)
+			nb = append(nb, b.p.AddInt(nbVarName(bi, pi), 0, hi))
 		}
+		b.nb, b.pruned = nb, pruned
 		// Templates carry no cacheability split, so the dirty-LMU
 		// escalation never triggers (zero readings: DMD = 0); the
 		// contract's requests are already charged at full lmax.
-		b.addInterference(bi, na, nb, dsu.Readings{})
+		b.addInterference(bi, b.na, nb, dsu.Readings{}, pruned)
+		b.nbAll = append(b.nbAll, nb...)
+		b.xsAll = append(b.xsAll, b.xs...)
 	}
 
 	gap := opts.Gap
@@ -93,11 +120,11 @@ func ILPPTACTemplate(a Input, templates []Template, opts PTACOptions) (Estimate,
 	}
 
 	decomp := make(map[string]int64)
-	for _, to := range platform.AccessPairs() {
-		decomp[fmt.Sprintf("na[%s]", to)] = sol.Int(fmt.Sprintf("na[%s]", to))
+	for pi := range accessPairs {
+		decomp[naNames[pi]] = sol.IntOf(b.na[pi])
 		for bi := range templates {
-			decomp[fmt.Sprintf("nb%d[%s]", bi, to)] = sol.Int(fmt.Sprintf("nb%d[%s]", bi, to))
-			decomp[fmt.Sprintf("x%d[%s]", bi, to)] = sol.Int(fmt.Sprintf("x%d[%s]", bi, to))
+			decomp[nbVarName(bi, pi)] = sol.IntOf(b.nbAll[bi*len(accessPairs)+pi])
+			decomp[xVarName(bi, pi)] = sol.IntOf(b.xsAll[bi*len(accessPairs)+pi])
 		}
 	}
 	return Estimate{
@@ -105,5 +132,6 @@ func ILPPTACTemplate(a Input, templates []Template, opts PTACOptions) (Estimate,
 		IsolationCycles:  a.A.CCNT,
 		ContentionCycles: int64(sol.UpperBound + 0.5),
 		Decomposition:    decomp,
+		Nodes:            sol.Nodes,
 	}, nil
 }

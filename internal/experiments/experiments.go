@@ -18,6 +18,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/campaign"
 	"repro/internal/core"
@@ -208,23 +209,59 @@ func coreScenario(sc workload.Scenario) core.Scenario {
 	return core.Scenario1()
 }
 
-// analyzerFor builds the SDK facade for one campaign cell: the cell's
-// (possibly perturbed) latency table and scenario tailoring, on the given
-// registry (nil selects the shared default). Construction is cheap —
-// an Analyzer is a handful of fields — so cells do not share one.
-func analyzerFor(lat platform.LatencyTable, sc workload.Scenario, reg *wcet.Registry) (*wcet.Analyzer, error) {
+// analyzerKey identifies one shared Analyzer: the cell's (possibly
+// perturbed) latency table — a comparable value type, the same property
+// the campaign memo cache relies on — and the registry it resolves models
+// against. Scenario is deliberately not part of the key: cells pass their
+// tailoring per request (Request.Scenario), so both scenarios of a sweep
+// share one Analyzer and one estimate cache.
+type analyzerKey struct {
+	lat platform.LatencyTable
+	reg *wcet.Registry
+}
+
+// analyzers caches one Analyzer per (latency table, registry) across all
+// campaign cells and artefact regenerations. An Analyzer is immutable and
+// safe for concurrent use, so grid cells share it instead of constructing
+// their own — which is what lets a sweep amortize solver state: every
+// cell's ILP solves draw from the same pooled tableaux, and identical
+// (model, input) cells across repeated regenerations hit the shared
+// estimate cache instead of re-solving.
+var analyzers sync.Map // analyzerKey -> *wcet.Analyzer
+
+// analyzerEstimateCache sizes each shared Analyzer's (model, input) LRU.
+// A full default grid is 2 scenarios x 3 loads x 2 models = 12 cells;
+// 256 entries keep several perturbation sweeps and repeated test
+// regenerations resident without unbounded growth.
+const analyzerEstimateCache = 256
+
+// analyzerFor returns the shared SDK facade for a cell's latency table on
+// the given registry (nil selects the shared default). Callers pass the
+// scenario tailoring per request.
+func analyzerFor(lat platform.LatencyTable, reg *wcet.Registry) (*wcet.Analyzer, error) {
+	key := analyzerKey{lat: lat, reg: reg}
+	if an, ok := analyzers.Load(key); ok {
+		return an.(*wcet.Analyzer), nil
+	}
 	// Concurrency 1: a cell already occupies one campaign-engine worker
 	// slot, so intra-cell model fan-out would overrun the -workers bound
 	// (the same reasoning as the server's analyzer).
 	opts := []wcet.Option{
 		wcet.WithLatencyTable(lat),
-		wcet.WithScenario(coreScenario(sc)),
 		wcet.WithConcurrency(1),
+		wcet.WithCache(analyzerEstimateCache),
 	}
 	if reg != nil {
 		opts = append(opts, wcet.WithRegistry(reg))
 	}
-	return wcet.NewAnalyzer(opts...)
+	an, err := wcet.NewAnalyzer(opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Two cells may race to construct; keep the first stored one so every
+	// later cell shares its estimate cache.
+	actual, _ := analyzers.LoadOrStore(key, an)
+	return actual.(*wcet.Analyzer), nil
 }
 
 // Table6Readings regenerates Table 6 for one scenario on the default
@@ -384,13 +421,14 @@ func (r Runner) Figure4Cell(ctx context.Context, lat platform.LatencyTable, sc w
 
 	// Step 3: model bounds, from isolation readings only, through the SDK
 	// facade — the same invocation any integrator toolchain makes.
-	an, err := analyzerFor(lat, sc, nil)
+	an, err := analyzerFor(lat, nil)
 	if err != nil {
 		return Figure4Row{}, err
 	}
 	res, err := an.Analyze(ctx, wcet.Request{
 		Analysed:   appR,
 		Contenders: []dsu.Readings{contR},
+		Scenario:   coreScenario(sc),
 		Models:     []string{"ilpPtac", "ftc"},
 	})
 	if err != nil {

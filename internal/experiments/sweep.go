@@ -280,13 +280,14 @@ func (r Runner) sweepCell(ctx context.Context, lat platform.LatencyTable, sc wor
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	an, err := analyzerFor(lat, sc, grid.Registry)
+	an, err := analyzerFor(lat, grid.Registry)
 	if err != nil {
 		return SweepPoint{}, err
 	}
 	res, err := an.Analyze(ctx, wcet.Request{
 		Analysed:   appR,
 		Contenders: []dsu.Readings{contR},
+		Scenario:   coreScenario(sc),
 		Models:     grid.Models,
 	})
 	if err != nil {

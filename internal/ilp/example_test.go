@@ -1,0 +1,61 @@
+package ilp_test
+
+import (
+	"fmt"
+
+	"repro/internal/ilp"
+)
+
+// Example solves a small knapsack: maximize 10a + 6b + 4c subject to
+// a + b + c <= 10 and 5a + 4b + 3c <= 36, all variables integer.
+func Example() {
+	p := ilp.New()
+	a := p.AddInt("a", 0, ilp.Inf)
+	b := p.AddInt("b", 0, ilp.Inf)
+	c := p.AddInt("c", 0, ilp.Inf)
+	p.SetObjective(a, 10)
+	p.SetObjective(b, 6)
+	p.SetObjective(c, 4)
+	p.Add([]ilp.Term{{a, 1}, {b, 1}, {c, 1}}, ilp.LE, 10)
+	p.Add([]ilp.Term{{a, 5}, {b, 4}, {c, 3}}, ilp.LE, 36)
+
+	sol, err := p.Solve(ilp.Options{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("objective=%.0f a=%d b=%d c=%d\n",
+		sol.Objective, sol.Int("a"), sol.Int("b"), sol.Int("c"))
+	// Output:
+	// objective=70 a=7 b=0 c=0
+}
+
+// ExampleProblem_Reset rebuilds a pooled Problem in place: Reset keeps all
+// allocated capacity (variable storage, the term arena, the relaxation
+// scratch), so estimate loops — the contention models pool their builders
+// exactly this way — add no steady-state allocation per solve. Handles
+// returned by AddInt index the *current* build, so hot paths read results
+// with IntOf instead of name lookups.
+func ExampleProblem_Reset() {
+	p := ilp.New()
+	for budget := int64(4); budget <= 6; budget++ {
+		p.Reset()
+		x := p.AddInt("x", 0, 10)
+		y := p.AddInt("y", 0, 10)
+		p.SetObjective(x, 3)
+		p.SetObjective(y, 2)
+		p.Add([]ilp.Term{{x, 2}, {y, 1}}, ilp.LE, float64(budget))
+
+		sol, err := p.Solve(ilp.Options{})
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("budget=%d objective=%.0f x=%d y=%d\n",
+			budget, sol.Objective, sol.IntOf(x), sol.IntOf(y))
+	}
+	// Output:
+	// budget=4 objective=8 x=0 y=4
+	// budget=5 objective=10 x=0 y=5
+	// budget=6 objective=12 x=0 y=6
+}

@@ -6,13 +6,34 @@
 // handles instantly.
 //
 // Variables carry names so the contention model can be inspected and
-// debugged symbolically; Solution.Value looks results up by name.
+// debugged symbolically; Solution.Value looks results up by name. During
+// the search itself everything is index-based: incumbents are stored as
+// dense vectors and names are attached exactly once, to the final
+// solution, so no per-node map or lookup allocation happens on the branch
+// & bound hot path (use Solution.ValueOf/IntOf to read results
+// index-directly).
+//
+// # Solver reuse and warm starts
+//
+// Each Solve builds one lp.Problem for the whole branch & bound tree and
+// adjusts only variable bounds per node (lp.Problem.SetBounds), which is
+// precisely the mutation shape lp.Solver warm-starts: a child node's
+// relaxation resumes from its parent's optimal basis via the dual simplex
+// instead of re-solving from scratch. Solvers are drawn from a package
+// pool, so their tableau arenas amortize across Solve calls (and across
+// requests, when callers like the wcetd batch handler fan out many
+// analyses). Fixed variables — lower bound equal to upper bound at the
+// root, as produced by dominated-template pre-pruning in the contention
+// models — are substituted out before the LP is built and never reach the
+// solver; constraints left with no free variables are feasibility-checked
+// once and dropped.
 package ilp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/lp"
 )
@@ -55,6 +76,12 @@ type Problem struct {
 	obj     []float64
 	cons    []savedCons
 	integer []bool
+	// termArena backs every constraint's term slice (see lp.Problem for
+	// the aliasing discipline); rel is the relaxation rebuilt in place by
+	// each Solve. Both survive Reset so a pooled Problem rebuilds its
+	// model with no steady-state allocation.
+	termArena []lp.Term
+	rel       relaxation
 }
 
 type savedCons struct {
@@ -66,6 +93,25 @@ type savedCons struct {
 // New returns an empty maximization problem.
 func New() *Problem {
 	return &Problem{byName: make(map[string]int)}
+}
+
+// Reset empties the problem for rebuilding in place, retaining allocated
+// capacity — variable storage, constraint storage, the term arena, and
+// the relaxation's scratch space. Callers that estimate in a loop (the
+// contention models pool their builders) reset instead of reallocating.
+func (p *Problem) Reset() {
+	p.names = p.names[:0]
+	if p.byName == nil {
+		p.byName = make(map[string]int)
+	} else {
+		clear(p.byName)
+	}
+	p.lower = p.lower[:0]
+	p.upper = p.upper[:0]
+	p.obj = p.obj[:0]
+	p.cons = p.cons[:0]
+	p.integer = p.integer[:0]
+	p.termArena = p.termArena[:0]
 }
 
 // AddInt adds an integer variable with inclusive bounds [lo, hi] (hi may be
@@ -106,10 +152,11 @@ func (p *Problem) SetObjective(v Var, coeff float64) {
 
 // Add appends the constraint sum(terms) sense rhs.
 func (p *Problem) Add(terms []Term, sense Sense, rhs float64) {
-	ts := make([]lp.Term, len(terms))
-	for i, t := range terms {
-		ts[i] = lp.Term{Var: t.Var.idx, Coeff: t.Coeff}
+	start := len(p.termArena)
+	for _, t := range terms {
+		p.termArena = append(p.termArena, lp.Term{Var: t.Var.idx, Coeff: t.Coeff})
 	}
+	ts := p.termArena[start:len(p.termArena):len(p.termArena)]
 	p.cons = append(p.cons, savedCons{terms: ts, sense: sense, rhs: rhs})
 }
 
@@ -128,26 +175,37 @@ type Solution struct {
 	// approximation* (such as WCET contention bounds) must read
 	// UpperBound, not Objective.
 	UpperBound float64
-	values     map[string]float64
+	names      []string  // variable names by index (a private copy)
+	xs         []float64 // incumbent by variable index, integers rounded
 	// Nodes is the number of branch & bound nodes explored.
 	Nodes int
 }
 
 // Value returns the value of the named variable, panicking on unknown
 // names (a misspelled name in model code is a bug, not a runtime
-// condition).
+// condition). The lookup is a linear scan — fine for the debug and
+// inspection uses names exist for; hot paths use ValueOf/IntOf, which
+// index directly.
 func (s Solution) Value(name string) float64 {
-	v, ok := s.values[name]
-	if !ok {
-		panic(fmt.Sprintf("ilp: no variable %q in solution", name))
+	for j, n := range s.names {
+		if n == name {
+			return s.xs[j]
+		}
 	}
-	return v
+	panic(fmt.Sprintf("ilp: no variable %q in solution", name))
 }
 
 // Int returns the named value rounded to the nearest integer.
 func (s Solution) Int(name string) int64 {
 	return int64(math.Round(s.Value(name)))
 }
+
+// ValueOf returns the value of variable v by index — the lookup the
+// models use on their hot path, with no name hashing.
+func (s Solution) ValueOf(v Var) float64 { return s.xs[v.idx] }
+
+// IntOf returns ValueOf rounded to the nearest integer.
+func (s Solution) IntOf(v Var) int64 { return int64(math.Round(s.xs[v.idx])) }
 
 // Errors returned by Solve.
 var (
@@ -174,6 +232,10 @@ const defaultMaxNodes = 1_000_000
 // integer are accepted as integral.
 const intTol = 1e-6
 
+// feasTol is the tolerance for constant-row feasibility checks during
+// presolve, matching the LP's phase-1 infeasibility threshold.
+const feasTol = 1e-7
+
 type node struct {
 	lower, upper []float64
 	// bound is the parent relaxation objective, used for best-first
@@ -181,12 +243,26 @@ type node struct {
 	bound float64
 }
 
+// solverPool recycles lp.Solvers (and with them their tableau arenas)
+// across Solve calls, including across concurrently handled service
+// requests. A Solver is bound to at most one Solve at a time.
+var solverPool = sync.Pool{New: func() any { return lp.NewSolver() }}
+
 // Solve maximizes the problem over integer assignments.
 func (p *Problem) Solve(opts Options) (Solution, error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
 		maxNodes = defaultMaxNodes
 	}
+
+	// Build the shared LP relaxation once; every node then only moves
+	// variable bounds. Presolve may already prove infeasibility.
+	rel, err := p.buildRelaxation()
+	if err != nil {
+		return Solution{}, err
+	}
+	solver := solverPool.Get().(*lp.Solver)
+	defer solverPool.Put(solver)
 
 	// When every objective coefficient is integral and every variable
 	// with a non-zero coefficient is integer, all integer-feasible
@@ -211,9 +287,25 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 		return bound <= incumbent+intTol
 	}
 
-	root := node{lower: append([]float64(nil), p.lower...), upper: append([]float64(nil), p.upper...), bound: math.Inf(1)}
+	// Bound vectors are recycled through a freelist: a popped node's
+	// slices are dead once its children are copied, so the steady-state
+	// search allocates no per-node storage.
+	var free [][]float64
+	cloneOf := func(src []float64) []float64 {
+		var dst []float64
+		if k := len(free); k > 0 {
+			dst, free = free[k-1][:len(src)], free[:k-1]
+		} else {
+			dst = make([]float64, len(src))
+		}
+		copy(dst, src)
+		return dst
+	}
+	recycle := func(n node) { free = append(free, n.lower, n.upper) }
+
+	root := node{lower: cloneOf(p.lower), upper: cloneOf(p.upper), bound: math.Inf(1)}
 	stack := []node{root}
-	var best *Solution
+	var bestX []float64 // incumbent, by variable index; nil when none yet
 	bestObj := math.Inf(-1)
 	rootBound := math.Inf(1)
 	nodes := 0
@@ -242,15 +334,17 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		if dominated(n.bound, bestObj) {
+			recycle(n)
 			continue // parent bound already dominated
 		}
 
-		sol, err := p.solveRelaxation(n)
+		status, obj, x, err := rel.solve(solver, p, n)
 		if err != nil {
 			return Solution{}, err
 		}
-		switch sol.Status {
+		switch status {
 		case lp.Infeasible:
+			recycle(n)
 			continue
 		case lp.Unbounded:
 			// An unbounded relaxation at the root means the ILP is
@@ -258,37 +352,32 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 			return Solution{}, ErrUnbounded
 		}
 		if nodes == 1 {
-			rootBound = sol.Objective
+			rootBound = obj
 		}
-		if dominated(sol.Objective, bestObj) {
+		if dominated(obj, bestObj) {
+			recycle(n)
 			continue
 		}
 
 		// Find the most fractional variable.
 		branch := -1
 		worst := intTol
-		for j, x := range sol.X {
+		for j, xj := range x {
 			if !p.integer[j] {
 				continue
 			}
-			frac := math.Abs(x - math.Round(x))
+			frac := math.Abs(xj - math.Round(xj))
 			if frac > worst {
 				worst = frac
 				branch = j
 			}
 		}
 		if branch < 0 {
-			// Integral: new incumbent.
-			vals := make(map[string]float64, len(p.names))
-			for j, name := range p.names {
-				x := sol.X[j]
-				if p.integer[j] {
-					x = math.Round(x)
-				}
-				vals[name] = x
-			}
-			bestObj = sol.Objective
-			best = &Solution{Objective: sol.Objective, values: vals}
+			// Integral: new incumbent. Keep only the dense vector;
+			// names are attached once, after the search.
+			recycle(n)
+			bestObj = obj
+			bestX = append(bestX[:0], x...)
 			// With an integral objective, an incumbent matching the
 			// floored root relaxation bound is provably optimal — stop
 			// without draining the plateau of equal-bound nodes.
@@ -306,28 +395,41 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 		// the child nearest the relaxation optimum first (it is pushed
 		// last): following the LP solution finds a strong incumbent in a
 		// handful of dives even on large symmetric instances.
-		x := sol.X[branch]
-		up := node{lower: append([]float64(nil), n.lower...), upper: append([]float64(nil), n.upper...), bound: sol.Objective}
-		up.lower[branch] = math.Ceil(x)
-		down := node{lower: append([]float64(nil), n.lower...), upper: append([]float64(nil), n.upper...), bound: sol.Objective}
-		down.upper[branch] = math.Floor(x)
+		xb := x[branch]
+		up := node{lower: cloneOf(n.lower), upper: cloneOf(n.upper), bound: obj}
+		up.lower[branch] = math.Ceil(xb)
+		down := node{lower: cloneOf(n.lower), upper: cloneOf(n.upper), bound: obj}
+		down.upper[branch] = math.Floor(xb)
+		recycle(n)
 		first, second := down, up // nearest child goes second (popped first)
-		if x-math.Floor(x) > 0.5 {
+		if xb-math.Floor(xb) > 0.5 {
 			first, second = up, down
 		}
 		if first.lower[branch] <= first.upper[branch] {
 			stack = append(stack, first)
+		} else {
+			recycle(first)
 		}
 		if second.lower[branch] <= second.upper[branch] {
 			stack = append(stack, second)
+		} else {
+			recycle(second)
 		}
 	}
 
-	if best == nil {
+	if bestX == nil {
 		return Solution{}, ErrInfeasible
 	}
-	best.Nodes = nodes
-	best.UpperBound = bestObj
+	for j := range bestX {
+		if p.integer[j] {
+			bestX[j] = math.Round(bestX[j])
+		}
+	}
+	// The name slice is copied: a pooled Problem's names backing is
+	// rewritten in place after Reset, and the Solution must outlive that.
+	names := make([]string, len(p.names))
+	copy(names, p.names)
+	best := Solution{Objective: bestObj, UpperBound: bestObj, names: names, xs: bestX, Nodes: nodes}
 	if len(stack) > 0 {
 		if ub := openBound(); ub > bestObj {
 			best.UpperBound = ub
@@ -336,16 +438,121 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 			best.UpperBound = math.Floor(best.UpperBound + intTol)
 		}
 	}
-	return *best, nil
+	return best, nil
 }
 
-func (p *Problem) solveRelaxation(n node) (lp.Solution, error) {
-	rp := lp.NewProblem()
+// relaxation is the LP built once per Solve and re-bounded per node. It
+// lives inside the Problem and is rebuilt in place, so repeated Solves of
+// a Reset problem reuse all of its storage.
+type relaxation struct {
+	rp *lp.Problem
+	// lpIdx maps a problem variable index to its LP column, or -1 when
+	// the variable was fixed (lower == upper at the root) and presolved
+	// out of the LP entirely.
+	lpIdx []int
+	x     []float64 // full-length scratch, overwritten per node
+	terms []lp.Term // constraint-remap scratch
+}
+
+// buildRelaxation constructs the shared LP: fixed variables are
+// substituted out, constraints with no free variables are checked for
+// feasibility and dropped, everything else carries over with the fixed
+// contribution folded into the RHS. Returns ErrInfeasible when a constant
+// row is violated.
+func (p *Problem) buildRelaxation() (*relaxation, error) {
+	rel := &p.rel
+	if rel.rp == nil {
+		rel.rp = lp.NewProblem()
+	} else {
+		rel.rp.Reset()
+	}
+	rel.lpIdx = resizeInts(rel.lpIdx, len(p.names))
+	rel.x = resizeFloats(rel.x, len(p.names))
 	for j := range p.names {
-		rp.AddVar(n.lower[j], n.upper[j], p.obj[j])
+		if p.lower[j] == p.upper[j] {
+			rel.lpIdx[j] = -1
+			continue
+		}
+		rel.lpIdx[j] = rel.rp.AddVar(p.lower[j], p.upper[j], p.obj[j])
 	}
+	terms := rel.terms
+	defer func() { rel.terms = terms[:0] }()
 	for _, c := range p.cons {
-		rp.AddConstraint(c.terms, c.sense, c.rhs)
+		terms = terms[:0]
+		fixed := 0.0
+		for _, t := range c.terms {
+			if rel.lpIdx[t.Var] < 0 {
+				fixed += t.Coeff * p.lower[t.Var]
+			} else {
+				terms = append(terms, lp.Term{Var: rel.lpIdx[t.Var], Coeff: t.Coeff})
+			}
+		}
+		rhs := c.rhs - fixed
+		if len(terms) == 0 {
+			// Constant row: all variables fixed. Check it once and drop.
+			ok := true
+			switch c.sense {
+			case LE:
+				ok = rhs >= -feasTol
+			case GE:
+				ok = rhs <= feasTol
+			case EQ:
+				ok = math.Abs(rhs) <= feasTol
+			}
+			if !ok {
+				return nil, ErrInfeasible
+			}
+			continue
+		}
+		rel.rp.AddConstraint(terms, c.sense, rhs)
 	}
-	return lp.Solve(rp)
+	return rel, nil
+}
+
+// solve evaluates one node's relaxation: move the LP bounds to the node's
+// and re-solve (warm-started by the Solver whenever the tableau layout is
+// unchanged). The returned x is rel's scratch vector, valid until the
+// next call; the objective is recomputed over the full vector in variable
+// order so presolve does not perturb bound values.
+func (rel *relaxation) solve(s *lp.Solver, p *Problem, n node) (lp.Status, float64, []float64, error) {
+	for j, li := range rel.lpIdx {
+		if li >= 0 {
+			rel.rp.SetBounds(li, n.lower[j], n.upper[j])
+		}
+	}
+	sol, err := s.Solve(rel.rp)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return sol.Status, 0, nil, nil
+	}
+	for j, li := range rel.lpIdx {
+		if li < 0 {
+			rel.x[j] = p.lower[j]
+		} else {
+			rel.x[j] = sol.X[li]
+		}
+	}
+	var obj float64
+	for j, xj := range rel.x {
+		obj += p.obj[j] * xj
+	}
+	return lp.Optimal, obj, rel.x, nil
+}
+
+// resizeInts returns buf with length n, reusing its backing array when
+// large enough. Contents are unspecified; callers overwrite every entry.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+func resizeFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }

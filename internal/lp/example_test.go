@@ -1,0 +1,65 @@
+package lp_test
+
+import (
+	"fmt"
+
+	"repro/internal/lp"
+)
+
+// Solve a small LP once with the package-level entry point.
+func Example() {
+	p := lp.NewProblem()
+	x := p.AddVar(0, 4, 3) // 0 <= x <= 4, objective 3x
+	y := p.AddVar(0, lp.Inf, 2)
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}, {Var: y, Coeff: 1}}, lp.LE, 6)
+
+	sol, err := lp.Solve(p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s obj=%g x=%g y=%g\n", sol.Status, sol.Objective, sol.X[x], sol.X[y])
+	// Output: optimal obj=16 x=4 y=2
+}
+
+// ExampleSolver_warmStart re-solves a problem after tightening a bound.
+// Because only bounds changed, the second Solve resumes from the first
+// solve's basis (a warm start) instead of rebuilding the tableau — the
+// access pattern branch & bound generates at every node.
+func ExampleSolver_warmStart() {
+	p := lp.NewProblem()
+	x := p.AddVar(0, 10, 1)
+	y := p.AddVar(0, 10, 1)
+	p.AddConstraint([]lp.Term{{Var: x, Coeff: 2}, {Var: y, Coeff: 1}}, lp.LE, 15)
+
+	s := lp.NewSolver()
+	sol, _ := s.Solve(p)
+	fmt.Printf("root:   obj=%g\n", sol.Objective)
+
+	// Branch: force x <= 2. Structure is unchanged, so this re-solve is
+	// warm-started from the previous optimal basis.
+	p.SetBounds(x, 0, 2)
+	sol, _ = s.Solve(p)
+	fmt.Printf("branch: obj=%g x=%g\n", sol.Objective, sol.X[x])
+	// Output:
+	// root:   obj=12.5
+	// branch: obj=12 x=2
+}
+
+// ExampleProblem_SetRHS adjusts a constraint's right-hand side between
+// solves, the other warm-start-eligible mutation.
+func ExampleProblem_SetRHS() {
+	p := lp.NewProblem()
+	x := p.AddVar(0, lp.Inf, 1)
+	budget := p.AddConstraint([]lp.Term{{Var: x, Coeff: 1}}, lp.LE, 5)
+
+	s := lp.NewSolver()
+	sol, _ := s.Solve(p)
+	fmt.Printf("obj=%g\n", sol.Objective)
+
+	p.SetRHS(budget, 8)
+	sol, _ = s.Solve(p)
+	fmt.Printf("obj=%g\n", sol.Objective)
+	// Output:
+	// obj=5
+	// obj=8
+}

@@ -1,0 +1,213 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzDecoder turns a byte stream into a bounded LP. Exhausted input reads
+// as zero, so every prefix decodes deterministically; small integer
+// coefficient ranges make degenerate bases, redundant rows and pinned
+// variables — the cases TestDegenerateProblemTerminates and
+// TestRedundantEqualityRows hand-pick — common rather than rare.
+type fuzzDecoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *fuzzDecoder) next() byte {
+	if d.pos >= len(d.data) {
+		return 0
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b
+}
+
+// decodeProblem builds 1-4 variables and 0-4 constraints from the stream.
+// Per variable: lo in 0..2; hi infinite (tag%4 == 0) or lo + tag%10 — a
+// pinned variable whenever tag%10 == 0; objective in -60..60. Per
+// constraint: sense tag%3, RHS in -20..20, one coefficient in -20..20 per
+// variable.
+func (d *fuzzDecoder) decodeProblem() *Problem {
+	nVars := 1 + int(d.next()%4)
+	nCons := int(d.next() % 5)
+	p := NewProblem()
+	for i := 0; i < nVars; i++ {
+		lo := float64(d.next() % 3)
+		hi := Inf
+		if h := d.next(); h%4 != 0 {
+			hi = lo + float64(h%10)
+		}
+		p.AddVar(lo, hi, float64(int(d.next()%121)-60))
+	}
+	for c := 0; c < nCons; c++ {
+		sense := Sense(d.next() % 3)
+		rhs := float64(int(d.next()%41) - 20)
+		terms := make([]Term, nVars)
+		for i := 0; i < nVars; i++ {
+			terms[i] = Term{i, float64(int(d.next()%41) - 20)}
+		}
+		p.AddConstraint(terms, sense, rhs)
+	}
+	return p
+}
+
+// applyPerturbations consumes the remaining stream as warm-eligible
+// mutations (SetRHS / SetBounds nudges in -10..10), returning whether any
+// were applied.
+func (d *fuzzDecoder) applyPerturbations(p *Problem) bool {
+	applied := false
+	for d.pos < len(d.data) {
+		kind := d.next()
+		idx := int(d.next())
+		delta := float64(int(d.next()%21) - 10)
+		if kind%2 == 0 && p.NumConstraints() > 0 {
+			i := idx % p.NumConstraints()
+			p.SetRHS(i, p.cons[i].RHS+delta)
+			applied = true
+		} else if p.NumVars() > 0 {
+			v := idx % p.NumVars()
+			lo, hi := p.Bounds(v)
+			if !math.IsInf(hi, 1) {
+				hi += delta
+				if hi < lo {
+					hi = lo
+				}
+				p.SetBounds(v, lo, hi)
+				applied = true
+			}
+		}
+	}
+	return applied
+}
+
+// checkFeasible verifies an Optimal solution satisfies every bound and
+// constraint within the solver tolerance band.
+func checkFeasible(t *testing.T, p *Problem, s Solution) {
+	t.Helper()
+	const ftol = 1e-6
+	for v := 0; v < p.NumVars(); v++ {
+		lo, hi := p.Bounds(v)
+		if s.X[v] < lo-ftol || s.X[v] > hi+ftol {
+			t.Fatalf("x[%d] = %v outside [%v, %v]", v, s.X[v], lo, hi)
+		}
+	}
+	for i, c := range p.cons {
+		var lhs float64
+		for _, tm := range c.Terms {
+			lhs += tm.Coeff * s.X[tm.Var]
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+ftol {
+				t.Fatalf("constraint %d: %v > %v", i, lhs, c.RHS)
+			}
+		case GE:
+			if lhs < c.RHS-ftol {
+				t.Fatalf("constraint %d: %v < %v", i, lhs, c.RHS)
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > ftol {
+				t.Fatalf("constraint %d: %v != %v", i, lhs, c.RHS)
+			}
+		}
+	}
+}
+
+// FuzzSolve drives the solver over the decoded problem space: every input
+// must terminate inside the iteration budget, classify as
+// Optimal/Infeasible/Unbounded, produce a feasible vertex when Optimal,
+// solve deterministically (two cold solves agree bitwise), and keep warm
+// re-solves after the stream's perturbations in agreement with a cold
+// solver. The seed corpus extends TestDegenerateProblemTerminates: the
+// scaled degenerate instance itself, redundant/contradictory equality
+// rows, zero rows, pinned variables, and perturbation tails that exercise
+// the warm path and its sign-flip fallback.
+func FuzzSolve(f *testing.F) {
+	// The Beale-style degenerate instance of
+	// TestDegenerateProblemTerminates, rows scaled x2 to land on the
+	// integer coefficient grid.
+	f.Add([]byte{
+		3, 3,
+		0, 0, 70, // x1: [0, Inf), obj 10
+		0, 0, 3, // x2: [0, Inf), obj -57
+		0, 0, 51, // x3: [0, Inf), obj -9
+		0, 0, 36, // x4: [0, Inf), obj -24
+		0, 20, 21, 9, 15, 38, // x1 - 11x2 - 5x3 + 18x4 <= 0
+		0, 20, 21, 17, 19, 22, // x1 - 3x2 - x3 + 2x4 <= 0
+		0, 22, 22, 20, 20, 20, // 2x1 <= 2
+	})
+	// Redundant equality rows (x+y = 5 twice, 2x+2y = 10).
+	f.Add([]byte{
+		1, 3,
+		0, 0, 61,
+		0, 0, 61,
+		2, 25, 21, 21,
+		2, 25, 21, 21,
+		2, 30, 22, 22,
+	})
+	// Contradictory equality rows (x+y = 5, x+y = 7): infeasible.
+	f.Add([]byte{1, 2, 0, 0, 61, 0, 0, 61, 2, 25, 21, 21, 2, 27, 21, 21})
+	// All-zero row 0 = 0 alongside an unbounded objective direction.
+	f.Add([]byte{1, 1, 0, 0, 61, 0, 0, 61, 0, 20, 20, 20})
+	// Pinned variable (hi == lo) feeding an equality row, with a
+	// perturbation tail nudging the RHS through a warm re-solve.
+	f.Add([]byte{1, 1, 2, 10, 61, 0, 5, 59, 2, 24, 21, 21, 0, 0, 3})
+	// Degenerate vertex (two LE rows active at the origin) plus a
+	// sign-flipping RHS perturbation to force the cold fallback.
+	f.Add([]byte{1, 2, 0, 0, 61, 0, 0, 59, 0, 20, 21, 19, 0, 20, 19, 21, 0, 0, 15, 0, 0, 2})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &fuzzDecoder{data: data}
+		p := d.decodeProblem()
+
+		warm := NewSolver()
+		base, err := warm.Solve(p)
+		if err != nil {
+			t.Fatalf("base solve: %v", err)
+		}
+		switch base.Status {
+		case Optimal, Infeasible, Unbounded:
+		default:
+			t.Fatalf("base solve: unexpected status %v", base.Status)
+		}
+		if base.Status == Optimal {
+			checkFeasible(t, p, base)
+		}
+		// Determinism: an identical cold solve reproduces the result
+		// bit for bit.
+		again, err := NewSolver().Solve(p)
+		if err != nil {
+			t.Fatalf("repeat solve: %v", err)
+		}
+		if again.Status != base.Status || math.Float64bits(again.Objective) != math.Float64bits(base.Objective) {
+			t.Fatalf("cold solve not deterministic: (%v, %v) vs (%v, %v)",
+				base.Status, base.Objective, again.Status, again.Objective)
+		}
+
+		if !d.applyPerturbations(p) {
+			return
+		}
+		got, err := warm.Solve(p)
+		if err != nil {
+			t.Fatalf("warm solve: %v", err)
+		}
+		want, err := NewSolver().Solve(p)
+		if err != nil {
+			t.Fatalf("cold solve: %v", err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("warm status %v, cold %v", got.Status, want.Status)
+		}
+		if want.Status != Optimal {
+			return
+		}
+		checkFeasible(t, p, got)
+		// Integer data admits alternate optima, so vertices may differ;
+		// the optimal value may not.
+		if math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Fatalf("warm objective %v, cold %v", got.Objective, want.Objective)
+		}
+	})
+}

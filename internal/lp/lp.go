@@ -7,12 +7,30 @@
 // The solver is exact enough for the contention models because every
 // coefficient they generate is a small integer (access counts and cycle
 // latencies); tolerances only absorb floating-point round-off.
+//
+// # One-shot vs reusable solving
+//
+// The package-level Solve is the simple entry point: it allocates fresh
+// state, solves, and returns an unaliased Solution. Hot paths that solve
+// many related problems — branch & bound in internal/ilp, the sweep grids
+// in internal/experiments — should instead hold a Solver, which reuses
+// its tableau arena across calls and warm-starts re-solves that change
+// only bounds (SetBounds) or right-hand sides (SetRHS). See the Solver
+// type for the precise reuse and invalidation contract.
+//
+// # Mutating a problem between solves
+//
+// A Problem may be mutated between Solve calls. AddVar and AddConstraint
+// change the problem's structure (they bump an internal generation
+// counter, invalidating any warm-start state a Solver holds for it);
+// SetBounds and SetRHS change only numbers and keep warm starts eligible.
 package lp
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Inf is the canonical "no upper bound" value.
@@ -57,16 +75,45 @@ type Constraint struct {
 	RHS   float64
 }
 
+// problemIDs hands every Problem a distinct identity so a Solver can tell
+// "same problem, new numbers" (warm-startable) from "different problem
+// that happens to live at a reused address".
+var problemIDs atomic.Uint64
+
 // Problem is a linear program: maximize Obj subject to constraints and
-// variable bounds. Build with NewProblem/AddVar/AddConstraint.
+// variable bounds. Build with NewProblem/AddVar/AddConstraint; adjust an
+// existing problem between solves with SetBounds/SetRHS.
 type Problem struct {
 	lower, upper []float64
 	obj          []float64
 	cons         []Constraint
+	// termArena backs every constraint's Terms slice so rebuilding a
+	// Reset problem in place allocates nothing in the steady state.
+	// Entries written before an arena growth keep aliasing the old
+	// backing array, which stays valid because terms are never mutated
+	// after AddConstraint.
+	termArena []Term
+
+	id        uint64 // distinct per Problem, never reused
+	structGen uint64 // bumped by AddVar/AddConstraint
 }
 
 // NewProblem returns an empty maximization problem.
-func NewProblem() *Problem { return &Problem{} }
+func NewProblem() *Problem { return &Problem{id: problemIDs.Add(1)} }
+
+// Reset empties the problem for rebuilding in place, retaining all
+// allocated capacity (variable slices, constraint storage, the term
+// arena). The reset problem has a fresh identity, so no Solver will
+// warm-start across a Reset — a rebuilt problem is a different problem.
+func (p *Problem) Reset() {
+	p.lower = p.lower[:0]
+	p.upper = p.upper[:0]
+	p.obj = p.obj[:0]
+	p.cons = p.cons[:0]
+	p.termArena = p.termArena[:0]
+	p.id = problemIDs.Add(1)
+	p.structGen = 0
+}
 
 // NumVars returns the number of variables added so far.
 func (p *Problem) NumVars() int { return len(p.obj) }
@@ -83,20 +130,59 @@ func (p *Problem) AddVar(lo, hi, objCoeff float64) int {
 	p.lower = append(p.lower, lo)
 	p.upper = append(p.upper, hi)
 	p.obj = append(p.obj, objCoeff)
+	p.structGen++
 	return len(p.obj) - 1
 }
 
-// AddConstraint adds sum(terms) sense rhs. Terms may repeat a variable;
-// coefficients accumulate.
-func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) {
+// SetBounds replaces variable v's bounds. It validates like AddVar and
+// does not change the problem's structure, so a Solver that solved this
+// problem before remains warm-start eligible.
+func (p *Problem) SetBounds(v int, lo, hi float64) {
+	if v < 0 || v >= len(p.obj) {
+		panic(fmt.Sprintf("lp: SetBounds on unknown variable %d", v))
+	}
+	if lo > hi {
+		panic(fmt.Sprintf("lp: variable bounds [%g, %g] are empty", lo, hi))
+	}
+	if math.IsInf(lo, -1) {
+		panic("lp: free variables (lo = -Inf) are not supported")
+	}
+	p.lower[v] = lo
+	p.upper[v] = hi
+}
+
+// Bounds returns variable v's current bounds.
+func (p *Problem) Bounds(v int) (lo, hi float64) {
+	return p.lower[v], p.upper[v]
+}
+
+// SetRHS replaces constraint i's right-hand side without changing the
+// problem's structure, keeping warm starts eligible.
+func (p *Problem) SetRHS(i int, rhs float64) {
+	if i < 0 || i >= len(p.cons) {
+		panic(fmt.Sprintf("lp: SetRHS on unknown constraint %d", i))
+	}
+	p.cons[i].RHS = rhs
+}
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// AddConstraint adds sum(terms) sense rhs, returning the constraint's
+// index (usable with SetRHS). Terms may repeat a variable; coefficients
+// accumulate.
+func (p *Problem) AddConstraint(terms []Term, sense Sense, rhs float64) int {
 	for _, t := range terms {
 		if t.Var < 0 || t.Var >= len(p.obj) {
 			panic(fmt.Sprintf("lp: constraint references unknown variable %d", t.Var))
 		}
 	}
-	cp := make([]Term, len(terms))
-	copy(cp, terms)
+	start := len(p.termArena)
+	p.termArena = append(p.termArena, terms...)
+	cp := p.termArena[start:len(p.termArena):len(p.termArena)]
 	p.cons = append(p.cons, Constraint{Terms: cp, Sense: sense, RHS: rhs})
+	p.structGen++
+	return len(p.cons) - 1
 }
 
 // Status classifies the solver outcome.
@@ -142,244 +228,17 @@ const (
 	maxIter = 200000
 )
 
-// Solve maximizes the problem. The returned error is non-nil only for
-// internal failures (iteration budget); infeasibility and unboundedness are
-// reported in Solution.Status.
+// Solve maximizes the problem with a fresh solver. The returned error is
+// non-nil only for internal failures (iteration budget); infeasibility and
+// unboundedness are reported in Solution.Status. The returned Solution
+// does not alias any reusable state.
 func Solve(p *Problem) (Solution, error) {
-	n := len(p.obj)
-	if n == 0 {
-		return Solution{Status: Optimal}, nil
+	sol, err := NewSolver().Solve(p)
+	if err == nil && sol.X != nil {
+		// Detach from the discarded solver's arena so callers may keep X.
+		x := make([]float64, len(sol.X))
+		copy(x, sol.X)
+		sol.X = x
 	}
-
-	// Shift variables to y = x - lo >= 0 and collect rows. Finite upper
-	// bounds become explicit y <= hi - lo rows.
-	type row struct {
-		coeffs []float64
-		sense  Sense
-		rhs    float64
-	}
-	var rows []row
-	for _, c := range p.cons {
-		r := row{coeffs: make([]float64, n), sense: c.Sense, rhs: c.RHS}
-		for _, t := range c.Terms {
-			r.coeffs[t.Var] += t.Coeff
-			r.rhs -= t.Coeff * p.lower[t.Var] // shift
-		}
-		// Undo the shift accumulation: rhs was adjusted per term above.
-		rows = append(rows, r)
-	}
-	for j := 0; j < n; j++ {
-		if !math.IsInf(p.upper[j], 1) {
-			r := row{coeffs: make([]float64, n), sense: LE, rhs: p.upper[j] - p.lower[j]}
-			r.coeffs[j] = 1
-			rows = append(rows, r)
-		}
-	}
-
-	m := len(rows)
-	// Column layout: [0,n) structural, then one slack/surplus per
-	// inequality, then one artificial per row that needs it.
-	nSlack := 0
-	for _, r := range rows {
-		if r.sense != EQ {
-			nSlack++
-		}
-	}
-	total := n + nSlack + m // upper bound on columns; artificials trimmed later
-	a := make([][]float64, m)
-	basis := make([]int, m)
-	artStart := n + nSlack
-	nArt := 0
-	slackIdx := n
-	for i, r := range rows {
-		a[i] = make([]float64, total+1)
-		copy(a[i], r.coeffs)
-		rhs := r.rhs
-		sense := r.sense
-		if rhs < 0 {
-			for j := 0; j < n; j++ {
-				a[i][j] = -a[i][j]
-			}
-			rhs = -rhs
-			switch sense {
-			case LE:
-				sense = GE
-			case GE:
-				sense = LE
-			}
-		}
-		a[i][total] = rhs
-		switch sense {
-		case LE:
-			a[i][slackIdx] = 1
-			basis[i] = slackIdx
-			slackIdx++
-		case GE:
-			a[i][slackIdx] = -1
-			slackIdx++
-			art := artStart + nArt
-			a[i][art] = 1
-			basis[i] = art
-			nArt++
-		case EQ:
-			art := artStart + nArt
-			a[i][art] = 1
-			basis[i] = art
-			nArt++
-		}
-	}
-	nCols := artStart + nArt
-	for i := range a {
-		// Move RHS next to the used columns.
-		a[i][nCols] = a[i][total]
-		a[i] = a[i][:nCols+1]
-	}
-
-	t := &tableau{m: m, n: nCols, a: a, basis: basis}
-
-	// Phase 1: minimize the sum of artificials.
-	if nArt > 0 {
-		cost := make([]float64, nCols)
-		for j := artStart; j < nCols; j++ {
-			cost[j] = 1
-		}
-		obj, status, err := t.minimize(cost)
-		if err != nil {
-			return Solution{}, err
-		}
-		if status == Unbounded {
-			return Solution{}, errors.New("lp: phase-1 unbounded (internal error)")
-		}
-		if obj > 1e-7 {
-			return Solution{Status: Infeasible}, nil
-		}
-		// Pivot any artificial still in the basis out (its value is 0);
-		// if its row has no usable column the row is redundant and the
-		// artificial may stay pinned at zero as long as it never
-		// re-enters: we forbid re-entry by pricing artificials at +Inf
-		// below, implemented by removing their columns.
-		for i := 0; i < m; i++ {
-			if t.basis[i] < artStart {
-				continue
-			}
-			for j := 0; j < artStart; j++ {
-				if math.Abs(t.a[i][j]) > tol {
-					t.pivot(i, j)
-					break
-				}
-			}
-		}
-	}
-
-	// Phase 2: minimize -objective over structural + slack columns only.
-	cost := make([]float64, nCols)
-	for j := 0; j < n; j++ {
-		cost[j] = -p.obj[j]
-	}
-	blocked := make([]bool, nCols)
-	for j := artStart; j < nCols; j++ {
-		blocked[j] = true
-	}
-	t.blocked = blocked
-	_, status, err := t.minimize(cost)
-	if err != nil {
-		return Solution{}, err
-	}
-	if status == Unbounded {
-		return Solution{Status: Unbounded}, nil
-	}
-
-	x := make([]float64, n)
-	for i, b := range t.basis {
-		if b < n {
-			x[b] = t.a[i][t.n]
-		}
-	}
-	var objVal float64
-	for j := 0; j < n; j++ {
-		x[j] += p.lower[j] // unshift
-		objVal += p.obj[j] * x[j]
-	}
-	return Solution{Status: Optimal, Objective: objVal, X: x}, nil
-}
-
-// tableau is a dense simplex tableau: m rows by n columns plus an RHS
-// column at index n.
-type tableau struct {
-	m, n    int
-	a       [][]float64
-	basis   []int
-	blocked []bool // columns that may not enter the basis
-}
-
-func (t *tableau) pivot(r, c int) {
-	pr := t.a[r]
-	pv := pr[c]
-	for j := range pr {
-		pr[j] /= pv
-	}
-	for i := 0; i < t.m; i++ {
-		if i == r {
-			continue
-		}
-		f := t.a[i][c]
-		if f == 0 {
-			continue
-		}
-		ri := t.a[i]
-		for j := range ri {
-			ri[j] -= f * pr[j]
-		}
-	}
-	t.basis[r] = c
-}
-
-// minimize runs the primal simplex with Bland's rule on the given cost
-// vector starting from the current basic feasible solution. It returns the
-// achieved objective value.
-func (t *tableau) minimize(cost []float64) (float64, Status, error) {
-	for iter := 0; iter < maxIter; iter++ {
-		// Reduced costs: d_j = cost_j - cB . B^-1 A_j. The tableau is
-		// already B^-1 A, so d_j = cost_j - sum_i cost[basis[i]]*a[i][j].
-		enter := -1
-		for j := 0; j < t.n; j++ {
-			if t.blocked != nil && t.blocked[j] {
-				continue
-			}
-			d := cost[j]
-			for i := 0; i < t.m; i++ {
-				if cb := cost[t.basis[i]]; cb != 0 {
-					d -= cb * t.a[i][j]
-				}
-			}
-			if d < -tol {
-				enter = j // Bland: first improving index
-				break
-			}
-		}
-		if enter < 0 {
-			var obj float64
-			for i := 0; i < t.m; i++ {
-				obj += cost[t.basis[i]] * t.a[i][t.n]
-			}
-			return obj, Optimal, nil
-		}
-		// Ratio test with Bland tie-break on smallest basis index.
-		leave := -1
-		best := math.Inf(1)
-		for i := 0; i < t.m; i++ {
-			if t.a[i][enter] > tol {
-				ratio := t.a[i][t.n] / t.a[i][enter]
-				if ratio < best-tol || (ratio < best+tol && (leave < 0 || t.basis[i] < t.basis[leave])) {
-					best = ratio
-					leave = i
-				}
-			}
-		}
-		if leave < 0 {
-			return 0, Unbounded, nil
-		}
-		t.pivot(leave, enter)
-	}
-	return 0, Optimal, ErrNotConverged
+	return sol, err
 }

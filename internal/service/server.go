@@ -630,22 +630,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// concurrent batch. The serving table is pinned once for the whole
 	// batch, so all cells evaluate under one characterisation.
 	table := s.servingID()
-	jobs := make([]campaign.Job[*cached], len(batch.Requests))
-	for i := range batch.Requests {
-		req := batch.Requests[i]
-		jobs[i] = func(ctx context.Context) (*cached, error) {
+	ch := make(chan []campaign.Outcome[*cached], 1)
+	go func() {
+		defer release()
+		ch <- campaign.Batch(ctx, s.engine, batch.Requests, func(ctx context.Context, req Request) (*cached, error) {
 			if err := req.validate(s.analyzer.Registry()); err != nil {
 				return nil, err
 			}
 			return s.lookupOrCompute(ctx, tableKey(canonicalKeyReg(s.analyzer.Registry(), req), table), func() (*cached, error) {
 				return s.evaluateEncoded(req, table)
 			})
-		}
-	}
-	ch := make(chan []campaign.Outcome[*cached], 1)
-	go func() {
-		defer release()
-		ch <- campaign.All(ctx, s.engine, jobs)
+		})
 	}()
 	var outcomes []campaign.Outcome[*cached]
 	select {

@@ -308,6 +308,50 @@ func (r *Result) Estimate(canonical string) (Estimate, bool) {
 // completion order; the first model error fails the call, labelled with
 // the model's name.
 func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
+	return a.analyze(ctx, req, make(chan struct{}, a.conc))
+}
+
+// BatchResult is one request's outcome within AnalyzeBatch: exactly one of
+// Result and Err is set. A batch never fails wholesale because one item is
+// invalid or one model errors — every item reports independently.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// AnalyzeBatch analyses many requests as one unit of work, returning one
+// BatchResult per request in input order regardless of completion order.
+//
+// The batch shares a single evaluation semaphore of the Analyzer's
+// configured width across every (request, model) pair, so total solver
+// parallelism is bounded by WithConcurrency no matter how many items the
+// batch carries — exactly the admission discipline wcetd's /v1/batch
+// endpoint applies through the campaign engine. Batching is also where the
+// solver-state amortization of internal/lp and internal/ilp pays off:
+// consecutive solves drawn from the pooled solvers reuse their tableau
+// arenas instead of re-allocating per cell, and the optional estimate
+// cache (WithCache) is shared across the whole batch, so duplicate cells
+// cost a lookup. Sweep-style callers (experiments.Grid) get the same
+// effect by holding one Analyzer across cells.
+func (a *Analyzer) AnalyzeBatch(ctx context.Context, reqs []Request) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	sem := make(chan struct{}, a.conc)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := a.analyze(ctx, reqs[i], sem)
+			out[i] = BatchResult{Result: res, Err: err}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// analyze is the shared core of Analyze and AnalyzeBatch; sem bounds model
+// evaluations and may be shared across concurrent calls.
+func (a *Analyzer) analyze(ctx context.Context, req Request, sem chan struct{}) (*Result, error) {
 	names := a.models
 	if len(req.Models) > 0 {
 		var err error
@@ -348,7 +392,7 @@ func (a *Analyzer) Analyze(ctx context.Context, req Request) (*Result, error) {
 		return nil, err
 	}
 
-	estimates, err := a.fanOut(ctx, names, in)
+	estimates, err := a.fanOut(ctx, names, in, sem)
 	if err != nil {
 		return nil, err
 	}
@@ -371,12 +415,11 @@ func scenarioIsZero(sc Scenario) bool {
 		!sc.CodeCountExact && !sc.CacheableDataFloor
 }
 
-// fanOut evaluates the models concurrently, bounded by the configured
-// width, consulting the estimate cache around each solve.
-func (a *Analyzer) fanOut(ctx context.Context, names []string, in Input) ([]ModelEstimate, error) {
+// fanOut evaluates the models concurrently, bounded by the caller's
+// semaphore, consulting the estimate cache around each solve.
+func (a *Analyzer) fanOut(ctx context.Context, names []string, in Input, sem chan struct{}) ([]ModelEstimate, error) {
 	out := make([]ModelEstimate, len(names))
 	errs := make([]error, len(names))
-	sem := make(chan struct{}, a.conc)
 	var wg sync.WaitGroup
 	for i, name := range names {
 		model, err := a.reg.Resolve(name)

@@ -291,6 +291,54 @@ func TestAnalyzerConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestAnalyzeBatch exercises the batched entry point: results in input
+// order, per-item errors that never fail the whole batch, and agreement
+// with the single-request path.
+func TestAnalyzeBatch(t *testing.T) {
+	an := MustNewAnalyzer(WithConcurrency(2))
+
+	bad := testRequest()
+	bad.Models = []string{"bogus"}
+	sc2 := testRequest()
+	sc2.Scenario = Scenario2()
+	reqs := []Request{testRequest(), bad, sc2}
+
+	out := an.AnalyzeBatch(context.Background(), reqs)
+	if len(out) != len(reqs) {
+		t.Fatalf("batch returned %d results for %d requests", len(out), len(reqs))
+	}
+	if out[0].Err != nil || out[2].Err != nil {
+		t.Fatalf("valid items errored: %v / %v", out[0].Err, out[2].Err)
+	}
+	if out[1].Err == nil || out[1].Result != nil {
+		t.Fatalf("invalid item = (%+v, %v), want error only", out[1].Result, out[1].Err)
+	}
+
+	// Item results match the single-request path exactly.
+	for _, i := range []int{0, 2} {
+		want, err := an.Analyze(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out[i].Result.Estimates) != len(want.Estimates) {
+			t.Fatalf("item %d: %d estimates, want %d", i, len(out[i].Result.Estimates), len(want.Estimates))
+		}
+		for j, e := range out[i].Result.Estimates {
+			if e.WCET() != want.Estimates[j].WCET() || e.Name != want.Estimates[j].Name {
+				t.Errorf("item %d model %s: batch bound %d != single bound %d",
+					i, e.Name, e.WCET(), want.Estimates[j].WCET())
+			}
+		}
+	}
+	// Scenario tailoring was honoured per item, not flattened to the
+	// Analyzer default.
+	s1, _ := out[0].Result.Estimate("ilpPtac")
+	s2, _ := out[2].Result.Estimate("ilpPtac")
+	if s1.WCET() == s2.WCET() {
+		t.Errorf("scenario override ignored in batch: both bounds = %d", s1.WCET())
+	}
+}
+
 // TestToyModelEndToEnd is the SDK half of the acceptance criterion:
 // registering a new ContentionModel makes it runnable through the facade
 // with zero edits anywhere else.
