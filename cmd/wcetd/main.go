@@ -39,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -63,40 +64,56 @@ func main() {
 	maxBatch := flag.Int("max-batch", 4096, "maximum requests per batch")
 	dataDir := flag.String("data", "", "latency-table store directory (empty: in-memory, tables are lost on exit)")
 	tableRef := flag.String("table", "tc27x/default", "table ref to serve under at startup")
+	slowReq := flag.Duration("slow-request", time.Second, "log requests slower than this with their trace (negative disables)")
+	ops := flag.Bool("ops", false, "expose net/http/pprof under /debug/pprof/")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler).With("component", "wcetd")
+	slog.SetDefault(logger)
 
 	store, err := tabstore.Open(*dataDir)
 	if err != nil {
-		fail(err)
+		fail(logger, err)
 	}
 	// The service seeds "tc27x/default" itself; any other startup ref
 	// must already exist in the store — fail with a usage error rather
 	// than the service's construction panic.
 	if *tableRef != "tc27x/default" {
 		if _, _, err := store.Resolve(*tableRef); err != nil {
-			fail(fmt.Errorf("-table: %w", err))
+			fail(logger, fmt.Errorf("-table: %w", err))
 		}
 	}
 
 	srv := service.New(service.Config{
-		Workers:         *workers,
-		CacheEntries:    *cacheEntries,
-		MaxInFlight:     *maxInFlight,
-		QueueDepth:      *queueDepth,
-		RequestTimeout:  *timeout,
-		MaxBodyBytes:    *maxBody,
-		MaxBatchItems:   *maxBatch,
-		TableStore:      store,
-		DefaultTableRef: *tableRef,
+		Workers:              *workers,
+		CacheEntries:         *cacheEntries,
+		MaxInFlight:          *maxInFlight,
+		QueueDepth:           *queueDepth,
+		RequestTimeout:       *timeout,
+		MaxBodyBytes:         *maxBody,
+		MaxBatchItems:        *maxBatch,
+		TableStore:           store,
+		DefaultTableRef:      *tableRef,
+		SlowRequestThreshold: *slowReq,
+		Logger:               logger,
+		EnableOps:            *ops,
 	}, nil)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fail(err)
+		fail(logger, err)
 	}
-	fmt.Fprintf(os.Stderr, "wcetd: listening on %s\n", ln.Addr())
-	fmt.Fprintf(os.Stderr, "wcetd: serving models: %s\n", strings.Join(wcet.DefaultRegistry().Names(), ", "))
-	fmt.Fprintf(os.Stderr, "wcetd: serving table: %s (%s)\n", *tableRef, srv.StatsSnapshot().ServingTable)
+	logger.Info("listening", "addr", ln.Addr().String())
+	logger.Info("serving models", "models", strings.Join(wcet.DefaultRegistry().Names(), ", "))
+	logger.Info("serving table", "ref", *tableRef, "id", srv.StatsSnapshot().ServingTable)
+	if *ops {
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -108,23 +125,24 @@ func main() {
 	case err := <-errc:
 		// Serve only returns on listener failure (Shutdown yields
 		// ErrServerClosed, but only after we ask for it below).
-		fail(err)
+		fail(logger, err)
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "wcetd: draining")
+	logger.Info("draining")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil {
-		fail(fmt.Errorf("shutdown: %w", err))
+		fail(logger, fmt.Errorf("shutdown: %w", err))
 	}
 	if err := <-errc; err != nil && err != http.ErrServerClosed {
-		fail(err)
+		fail(logger, err)
 	}
-	fmt.Fprintln(os.Stderr, "wcetd: shut down cleanly")
+	srv.LogSummary()
+	logger.Info("shut down cleanly")
 }
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "wcetd:", err)
+func fail(logger *slog.Logger, err error) {
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -26,6 +26,20 @@ import (
 
 	"repro/internal/dsu"
 	"repro/internal/platform"
+	"repro/internal/telemetry"
+)
+
+// Process-wide calibration telemetry on the default registry (exposed
+// by wcetd's GET /metrics).
+var (
+	mBatches = telemetry.Default().Counter("calib_batches_total",
+		"Sample batches accepted by calibration engines (rejected batches excluded).")
+	mSamples = telemetry.Default().Counter("calib_samples_total",
+		"Individual samples accepted by calibration engines.")
+	mDriftChecks = telemetry.Default().Counter("calib_drift_checks_total",
+		"Drift comparisons run.")
+	mDrifted = telemetry.Default().Counter("calib_drifted_total",
+		"Drift comparisons that flagged at least one figure beyond tolerance.")
 )
 
 // Sample is one microbenchmark measurement: the DSU counter deltas
@@ -222,6 +236,8 @@ func (e *Engine) Ingest(b Batch) error {
 		}
 		e.total++
 	}
+	mBatches.Inc()
+	mSamples.Add(int64(len(ps)))
 	return nil
 }
 
@@ -412,5 +428,9 @@ func Drift(candidate, reference platform.LatencyTable, tol float64) DriftReport 
 		}
 		return out.Fields[i].Field < out.Fields[j].Field
 	})
+	mDriftChecks.Inc()
+	if out.Drifted {
+		mDrifted.Inc()
+	}
 	return out
 }

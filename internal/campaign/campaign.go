@@ -27,6 +27,21 @@ import (
 
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Process-wide campaign telemetry on the default registry (exposed by
+// wcetd's GET /metrics): all engines aggregate into the same series,
+// beside each Engine's own Stats snapshot.
+var (
+	mCells = telemetry.Default().Counter("campaign_cells_total",
+		"Campaign cells executed across all engines.")
+	mMemoHits = telemetry.Default().Counter("campaign_memo_hits_total",
+		"Isolation runs served from the memo cache.")
+	mMemoMisses = telemetry.Default().Counter("campaign_memo_misses_total",
+		"Isolation runs that had to be simulated.")
+	mSimRuns = telemetry.Default().Counter("campaign_sim_runs_total",
+		"Simulator invocations performed by campaign engines.")
 )
 
 // Engine schedules campaign cells across a fixed worker pool and caches
@@ -136,6 +151,7 @@ func All[T any](ctx context.Context, e *Engine, jobs []Job[T]) []Outcome[T] {
 					// context error after the pool drains.
 					continue
 				}
+				mCells.Inc()
 				v, err := jobs[i](ctx)
 				outcomes[i] = Outcome[T]{Value: v, Err: err}
 				<-e.slots
@@ -280,16 +296,19 @@ func (e *Engine) Isolation(ctx context.Context, lat platform.LatencyTable, coreI
 	entry.once.Do(func() {
 		computed = true
 		e.misses.Add(1)
+		mMemoMisses.Inc()
 		task, err := build()
 		if err != nil {
 			entry.err = fmt.Errorf("campaign: building task %q: %w", taskKey, err)
 			return
 		}
 		e.runs.Add(1)
+		mSimRuns.Inc()
 		entry.res, entry.err = sim.RunIsolation(lat, coreIdx, task, cfg)
 	})
 	if !computed {
 		e.hits.Add(1)
+		mMemoHits.Inc()
 	}
 	return entry.res, entry.err
 }
@@ -301,5 +320,6 @@ func (e *Engine) Run(ctx context.Context, lat platform.LatencyTable, tasks map[i
 		return sim.Result{}, err
 	}
 	e.runs.Add(1)
+	mSimRuns.Inc()
 	return sim.Run(lat, tasks, analysed, cfg)
 }

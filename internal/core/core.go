@@ -96,6 +96,12 @@ type Estimate struct {
 	// BENCH_<pr>.json trajectory point, surfaced so benchmarks and
 	// regression gates can track search effort alongside wall time.
 	Nodes int
+	// WarmStarts, when the model solves an ILP, is how many of those
+	// node relaxations resumed from a previous simplex basis instead of
+	// rebuilding cold — the effectiveness signal of the PR 6 warm-start
+	// path, surfaced per estimate so traces and benchmarks can report a
+	// warm-start rate.
+	WarmStarts int
 }
 
 // WCET returns the contention-aware WCET estimate in cycles.

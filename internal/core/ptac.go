@@ -167,6 +167,7 @@ func ILPPTAC(in Input, opts PTACOptions) (Estimate, error) {
 		ContentionCycles: int64(sol.UpperBound + 0.5),
 		Decomposition:    decomp,
 		Nodes:            sol.Nodes,
+		WarmStarts:       sol.WarmStarts,
 	}, nil
 }
 

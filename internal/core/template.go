@@ -133,5 +133,6 @@ func ILPPTACTemplate(a Input, templates []Template, opts PTACOptions) (Estimate,
 		ContentionCycles: int64(sol.UpperBound + 0.5),
 		Decomposition:    decomp,
 		Nodes:            sol.Nodes,
+		WarmStarts:       sol.WarmStarts,
 	}, nil
 }

@@ -36,6 +36,31 @@ import (
 	"sync"
 
 	"repro/internal/lp"
+	"repro/internal/telemetry"
+)
+
+// Process-wide solver telemetry, flushed once per Solve (never per pivot
+// or per node — lp.Solver accumulates locally and the deltas land here),
+// so the hot path pays a handful of atomic adds per ILP, not per
+// operation. Registered on the telemetry default registry and exposed by
+// wcetd's GET /metrics.
+var (
+	mWarmStarts = telemetry.Default().Counter("solver_warm_starts_total",
+		"LP solves served by the warm-start dual simplex path.")
+	mWarmFallbacks = telemetry.Default().Counter("solver_warm_fallbacks_total",
+		"Warm-start attempts that hit a late structural mismatch and rebuilt cold.")
+	mColdSolves = telemetry.Default().Counter("solver_cold_solves_total",
+		"LP solves built from scratch (including warm fallbacks).")
+	mPivots = telemetry.Default().Counter("solver_pivots_total",
+		"Simplex pivots across all phases and solves.")
+	mBBNodes = telemetry.Default().Counter("solver_bb_nodes_total",
+		"Branch & bound nodes explored.")
+	mILPSolves = telemetry.Default().Counter("solver_ilp_solves_total",
+		"ILP Solve calls.")
+	mPoolGets = telemetry.Default().Counter("solver_pool_gets_total",
+		"lp.Solver checkouts from the package pool.")
+	mPoolNews = telemetry.Default().Counter("solver_pool_news_total",
+		"lp.Solvers constructed because the pool was empty (gets minus news = arena reuses).")
 )
 
 // Inf is the canonical "no upper bound" value.
@@ -179,6 +204,10 @@ type Solution struct {
 	xs         []float64 // incumbent by variable index, integers rounded
 	// Nodes is the number of branch & bound nodes explored.
 	Nodes int
+	// WarmStarts is how many of this Solve's node relaxations resumed
+	// from a previous basis via the warm-start dual simplex instead of a
+	// cold rebuild (trace spans surface it beside Nodes).
+	WarmStarts int
 }
 
 // Value returns the value of the named variable, panicking on unknown
@@ -246,7 +275,10 @@ type node struct {
 // solverPool recycles lp.Solvers (and with them their tableau arenas)
 // across Solve calls, including across concurrently handled service
 // requests. A Solver is bound to at most one Solve at a time.
-var solverPool = sync.Pool{New: func() any { return lp.NewSolver() }}
+var solverPool = sync.Pool{New: func() any {
+	mPoolNews.Inc()
+	return lp.NewSolver()
+}}
 
 // Solve maximizes the problem over integer assignments.
 func (p *Problem) Solve(opts Options) (Solution, error) {
@@ -262,7 +294,21 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 		return Solution{}, err
 	}
 	solver := solverPool.Get().(*lp.Solver)
-	defer solverPool.Put(solver)
+	mPoolGets.Inc()
+	mILPSolves.Inc()
+	nodes := 0
+	statsBase := solver.Stats()
+	defer func() {
+		// One flush per Solve: the per-node accounting stayed in the
+		// Solver's plain fields until here.
+		d := solver.Stats()
+		mWarmStarts.Add(d.Warm - statsBase.Warm)
+		mWarmFallbacks.Add(d.WarmFallbacks - statsBase.WarmFallbacks)
+		mColdSolves.Add(d.Cold - statsBase.Cold)
+		mPivots.Add(d.Pivots - statsBase.Pivots)
+		mBBNodes.Add(int64(nodes))
+		solverPool.Put(solver)
+	}()
 
 	// When every objective coefficient is integral and every variable
 	// with a non-zero coefficient is integer, all integer-feasible
@@ -308,7 +354,6 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 	var bestX []float64 // incumbent, by variable index; nil when none yet
 	bestObj := math.Inf(-1)
 	rootBound := math.Inf(1)
-	nodes := 0
 
 	// openBound is the largest relaxation bound among unexplored nodes —
 	// the current proof of what the optimum cannot exceed.
@@ -429,7 +474,14 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 	// rewritten in place after Reset, and the Solution must outlive that.
 	names := make([]string, len(p.names))
 	copy(names, p.names)
-	best := Solution{Objective: bestObj, UpperBound: bestObj, names: names, xs: bestX, Nodes: nodes}
+	best := Solution{
+		Objective:  bestObj,
+		UpperBound: bestObj,
+		names:      names,
+		xs:         bestX,
+		Nodes:      nodes,
+		WarmStarts: int(solver.Stats().Warm - statsBase.Warm),
+	}
 	if len(stack) > 0 {
 		if ub := openBound(); ub > bestObj {
 			best.UpperBound = ub

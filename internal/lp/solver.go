@@ -73,7 +73,26 @@ type Solver struct {
 	shiftRHS []float64 // post-shift, post-flip RHS of the last build
 	scratch  []float64 // candidate RHS during warm validation
 	upInf    []bool    // finite-upper pattern of the last build
+
+	stats SolveStats // cumulative accounting since construction
 }
+
+// SolveStats is the Solver's cumulative work accounting: how often the
+// warm path succeeded, how often a warm attempt surfaced a late
+// structural mismatch and fell back cold, how many solves built from
+// scratch, and the total simplex pivots across all phases. A Solver is
+// single-goroutine, so plain fields suffice; callers that aggregate
+// across pooled solvers (internal/ilp) diff Stats() around a solve and
+// flush the delta to their own counters.
+type SolveStats struct {
+	Warm          int64 // solves served by the warm dual-simplex path
+	WarmFallbacks int64 // warm attempts that fell back to a cold build
+	Cold          int64 // solves built from scratch (incl. fallbacks)
+	Pivots        int64 // simplex pivots, all phases
+}
+
+// Stats returns the cumulative solve statistics.
+func (s *Solver) Stats() SolveStats { return s.stats }
 
 // rowInfo records one tableau row's provenance and normalisation.
 type rowInfo struct {
@@ -107,9 +126,12 @@ func (s *Solver) Solve(p *Problem) (Solution, error) {
 	}
 	if s.canWarm(p) {
 		if sol, done, err := s.warmSolve(p); done {
+			s.stats.Warm++
 			return sol, err
 		}
+		s.stats.WarmFallbacks++
 	}
+	s.stats.Cold++
 	return s.coldSolve(p)
 }
 
@@ -422,6 +444,7 @@ func (s *Solver) extract(p *Problem) Solution {
 // pivot performs a standard tableau pivot on (r, c) and, when enabled,
 // keeps the reduced-cost row in sync.
 func (s *Solver) pivot(r, c int) {
+	s.stats.Pivots++
 	pr := s.a[r]
 	pv := pr[c]
 	for j := range pr {

@@ -288,7 +288,7 @@ func Evaluate(req Request) (*Response, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	return evaluateWith(defaultAnalyzer, req, "")
+	return evaluateWith(context.Background(), defaultAnalyzer, req, "")
 }
 
 // evaluateWith is Evaluate against a specific analyzer (a server may carry
@@ -297,14 +297,16 @@ func Evaluate(req Request) (*Response, error) {
 // serving table's content address; the CLI passes "" for the analyzer's
 // fixed table). Callers must have validated req — the server does so
 // pre-admission, Evaluate does so on entry — so the miss path does not
-// re-validate.
-func evaluateWith(an *wcet.Analyzer, req Request, tableRef string) (*Response, error) {
+// re-validate. ctx carries trace spans only: evaluation runs to
+// completion even if the request that started it is cancelled, because
+// singleflight followers may still be waiting on the result.
+func evaluateWith(ctx context.Context, an *wcet.Analyzer, req Request, tableRef string) (*Response, error) {
 	sdkReq, err := toSDKRequest(an.Registry(), req)
 	if err != nil {
 		return nil, err
 	}
 	sdkReq.TableRef = tableRef
-	res, err := an.Analyze(context.Background(), sdkReq)
+	res, err := an.Analyze(context.WithoutCancel(ctx), sdkReq)
 	if err != nil {
 		return nil, err
 	}

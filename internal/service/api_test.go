@@ -190,7 +190,7 @@ func TestCanonicalKey(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, nil, nil, nil)
 	mk := func(s string) *cached { return &cached{body: []byte(s)} }
 	c.put("a", mk("a"))
 	c.put("b", mk("b"))
@@ -210,7 +210,7 @@ func TestLRUEviction(t *testing.T) {
 	if got := c.len(); got != 2 {
 		t.Errorf("len = %d, want 2", got)
 	}
-	if got := c.evictions.Load(); got != 1 {
+	if got := c.evictions.Value(); got != 1 {
 		t.Errorf("evictions = %d, want 1", got)
 	}
 }

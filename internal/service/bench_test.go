@@ -18,13 +18,13 @@ func BenchmarkCacheHit(b *testing.B) {
 	s := New(Config{}, nil)
 	req := sampleRequest(0)
 	key := CanonicalKey(req)
-	if _, err := s.lookupOrCompute(context.Background(), key, func() (*cached, error) { return s.evaluateEncoded(req, s.servingID()) }); err != nil {
+	if _, err := s.lookupOrCompute(context.Background(), key, func(ctx context.Context) (*cached, error) { return s.evaluateEncoded(ctx, req, s.servingID()) }); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := s.lookupOrCompute(context.Background(), key, func() (*cached, error) { return s.evaluateEncoded(req, s.servingID()) }); err != nil {
+		if _, err := s.lookupOrCompute(context.Background(), key, func(ctx context.Context) (*cached, error) { return s.evaluateEncoded(ctx, req, s.servingID()) }); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -42,7 +42,7 @@ func BenchmarkDuplicateRequestEndToEnd(b *testing.B) {
 	s := New(Config{}, nil)
 	req := sampleRequest(0)
 	body := encodeRequest(b, req)
-	if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(req), func() (*cached, error) { return s.evaluateEncoded(req, s.servingID()) }); err != nil {
+	if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(req), func(ctx context.Context) (*cached, error) { return s.evaluateEncoded(ctx, req, s.servingID()) }); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -52,7 +52,7 @@ func BenchmarkDuplicateRequestEndToEnd(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(dec), func() (*cached, error) { return s.evaluateEncoded(dec, s.servingID()) }); err != nil {
+		if _, err := s.lookupOrCompute(context.Background(), CanonicalKey(dec), func(ctx context.Context) (*cached, error) { return s.evaluateEncoded(ctx, dec, s.servingID()) }); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +123,7 @@ func BenchmarkSustainedBatchThroughput(b *testing.B) {
 		b.ReportMetric(float64(items)/b.Elapsed().Seconds(), "items/s")
 	}
 	if lookups := st.Cache.Hits + st.Cache.Misses; lookups > 0 {
-		b.ReportMetric(float64(st.Cache.Hits)/float64(lookups), "hit_rate")
+		b.ReportMetric(float64(st.Cache.Hits)/float64(lookups), "cache_hit_rate")
 	}
 	if b.N > uniquePool && st.Cache.Hits == 0 {
 		b.Fatal(fmt.Sprintf("sustained stream never hit the cache: %+v", st.Cache))

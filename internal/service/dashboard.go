@@ -1,0 +1,25 @@
+package service
+
+import (
+	_ "embed"
+	"fmt"
+	"net/http"
+)
+
+// dashboardHTML is the ops dashboard: one self-contained page (no external
+// assets, no CDN) that subscribes to /v2/stats/stream and renders live
+// throughput, latency-quantile, cache and solver charts plus a raw-metrics
+// table. Embedding it keeps the daemon a single binary.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// handleDashboard serves GET /v2/dashboard.
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(dashboardHTML)
+}

@@ -3,7 +3,8 @@ package service
 import (
 	"container/list"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // cached is one content-addressed analysis result: the decoded response
@@ -19,16 +20,17 @@ type cached struct {
 // resultCache is a mutex-guarded LRU keyed by canonical request hash.
 // Identical provider submissions — the common case when many integration
 // runs re-check the same task set — cost one map lookup instead of an
-// ILP solve.
+// ILP solve. Accounting lands directly on the server's telemetry
+// counters, so /v1/stats and /metrics read the same numbers.
 type resultCache struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List // front = most recently used
 	items map[string]*list.Element
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
 }
 
 type lruEntry struct {
@@ -36,11 +38,25 @@ type lruEntry struct {
 	val *cached
 }
 
-func newResultCache(capacity int) *resultCache {
+// newResultCache builds a cache reporting into the given counters; nil
+// counters (standalone/test use) are replaced with private ones.
+func newResultCache(capacity int, hits, misses, evictions *telemetry.Counter) *resultCache {
+	if hits == nil {
+		hits = &telemetry.Counter{}
+	}
+	if misses == nil {
+		misses = &telemetry.Counter{}
+	}
+	if evictions == nil {
+		evictions = &telemetry.Counter{}
+	}
 	return &resultCache{
-		cap:   capacity,
-		order: list.New(),
-		items: make(map[string]*list.Element, capacity),
+		cap:       capacity,
+		order:     list.New(),
+		items:     make(map[string]*list.Element, capacity),
+		hits:      hits,
+		misses:    misses,
+		evictions: evictions,
 	}
 }
 
@@ -52,11 +68,11 @@ func (c *resultCache) get(key string) (*cached, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses.Add(1)
+		c.misses.Inc()
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	c.hits.Add(1)
+	c.hits.Inc()
 	return el.Value.(*lruEntry).val, true
 }
 
@@ -71,7 +87,7 @@ func (c *resultCache) getHit(key string) (*cached, bool) {
 		return nil, false
 	}
 	c.order.MoveToFront(el)
-	c.hits.Add(1)
+	c.hits.Inc()
 	return el.Value.(*lruEntry).val, true
 }
 
@@ -102,7 +118,7 @@ func (c *resultCache) put(key string, val *cached) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.items, oldest.Value.(*lruEntry).key)
-		c.evictions.Add(1)
+		c.evictions.Inc()
 	}
 }
 

@@ -5,8 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/campaign"
 	"repro/internal/tabstore"
+	"repro/internal/telemetry"
 	"repro/wcet"
 )
 
@@ -61,6 +64,17 @@ type Config struct {
 	// seeding, else New panics — a server cannot run without a
 	// characterisation.
 	DefaultTableRef string
+	// SlowRequestThreshold is the latency above which a request is
+	// logged (with its trace) as slow; 0 selects 1 second, negative
+	// disables slow-request logging.
+	SlowRequestThreshold time.Duration
+	// Logger receives the server's structured diagnostics (slow
+	// requests, shutdown summary); nil selects slog.Default().
+	Logger *slog.Logger
+	// EnableOps additionally mounts net/http/pprof under /debug/pprof/
+	// (cmd/wcetd exposes this as -ops). Off by default: profiling
+	// handlers do not belong on an unguarded production surface.
+	EnableOps bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +101,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultTableRef == "" {
 		c.DefaultTableRef = "tc27x/default"
+	}
+	if c.SlowRequestThreshold == 0 {
+		c.SlowRequestThreshold = time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -190,17 +210,15 @@ type Server struct {
 	flightMu sync.Mutex
 	flights  map[string]*flight
 
-	inFlight          atomic.Int64
-	accepted          atomic.Int64
-	rejectedOverload  atomic.Int64
-	canceled          atomic.Int64
-	dedup             atomic.Int64
-	singleRequests    atomic.Int64
-	batchRequests     atomic.Int64
-	batchItems        atomic.Int64
-	v2Requests        atomic.Int64
-	tableRequests     atomic.Int64
-	calibrateRequests atomic.Int64
+	// metrics is the server's telemetry set — the single source of truth
+	// for both GET /metrics and the wire-stable /v1/stats payload.
+	metrics *serverMetrics
+	logger  *slog.Logger
+
+	// streamDone ends open /v2/stats/stream connections when graceful
+	// shutdown begins, so they cannot hold the drain hostage.
+	streamDone chan struct{}
+	streamOnce sync.Once
 
 	httpSrv *http.Server
 }
@@ -256,26 +274,46 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 		// constructs; /v1 requests then fail individually.
 		analyzer = wcet.MustNewAnalyzer(append(opts, wcet.WithModels(reg.Names()...))...)
 	}
+	metrics := newServerMetrics()
 	s := &Server{
-		cfg:      cfg,
-		engine:   engine,
-		cache:    newResultCache(cfg.CacheEntries),
-		analyzer: analyzer,
-		store:    store,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
-		flights:  make(map[string]*flight),
+		cfg:        cfg,
+		engine:     engine,
+		cache:      newResultCache(cfg.CacheEntries, metrics.cacheHits, metrics.cacheMisses, metrics.cacheEvictions),
+		analyzer:   analyzer,
+		store:      store,
+		sem:        make(chan struct{}, cfg.MaxInFlight),
+		flights:    make(map[string]*flight),
+		metrics:    metrics,
+		logger:     cfg.Logger,
+		streamDone: make(chan struct{}),
 	}
 	s.serving.Store(servingID)
+	metrics.reg.GaugeFunc("wcetd_queue_depth",
+		"Requests currently waiting for admission.",
+		func() float64 { return float64(s.queued.Load()) })
+	metrics.reg.GaugeFunc("wcetd_cache_entries",
+		"Result-cache entries currently resident.",
+		func() float64 { return float64(s.cache.len()) })
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/wcet", s.handleSingle)
-	mux.HandleFunc("/v1/batch", s.handleBatch)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/v2/analyze", s.handleV2Analyze)
-	mux.HandleFunc("/v2/models", s.handleV2Models)
-	mux.HandleFunc("/v2/tables", s.handleTables)
-	mux.HandleFunc("/v2/tables/", s.handleTableByRef)
-	mux.HandleFunc("/v2/calibrate", s.handleCalibrate)
-	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/wcet", s.instrument("v1_wcet", true, s.handleSingle))
+	mux.HandleFunc("/v1/batch", s.instrument("v1_batch", true, s.handleBatch))
+	mux.HandleFunc("/v1/stats", s.instrument("v1_stats", false, s.handleStats))
+	mux.HandleFunc("/v2/analyze", s.instrument("v2_analyze", true, s.handleV2Analyze))
+	mux.HandleFunc("/v2/models", s.instrument("v2_models", false, s.handleV2Models))
+	mux.HandleFunc("/v2/tables", s.instrument("v2_tables", false, s.handleTables))
+	mux.HandleFunc("/v2/tables/", s.instrument("v2_tables", false, s.handleTableByRef))
+	mux.HandleFunc("/v2/calibrate", s.instrument("v2_calibrate", false, s.handleCalibrate))
+	mux.HandleFunc("/v2/stats/stream", s.instrument("v2_stats_stream", false, s.handleStatsStream))
+	mux.HandleFunc("/v2/dashboard", s.instrument("v2_dashboard", false, s.handleDashboard))
+	mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
+	mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealth))
+	if cfg.EnableOps {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s.httpSrv = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
@@ -284,6 +322,11 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 		// per-request context starts only after decode.
 		ReadTimeout: cfg.RequestTimeout,
 	}
+	// End open SSE streams as soon as a graceful drain begins (Shutdown
+	// may run more than once; the channel closes once).
+	s.httpSrv.RegisterOnShutdown(func() {
+		s.streamOnce.Do(func() { close(s.streamDone) })
+	})
 	return s
 }
 
@@ -306,31 +349,36 @@ func (s *Server) ListenAndServe(addr string) error {
 // requests run to completion or to ctx's deadline.
 func (s *Server) Shutdown(ctx context.Context) error { return s.httpSrv.Shutdown(ctx) }
 
-// StatsSnapshot returns the current counters (what /v1/stats serves).
+// StatsSnapshot returns the current counters (what /v1/stats serves),
+// read from the telemetry registry — /v1/stats and /metrics can never
+// disagree. The payload is wire-stable: fields, names and meanings
+// predate the telemetry layer. Endpoint counters now tick at the mux
+// (method-mismatched requests included), which only widens them.
 func (s *Server) StatsSnapshot() Stats {
+	m := s.metrics
 	return Stats{
 		Workers:           s.engine.Workers(),
 		MaxInFlight:       s.cfg.MaxInFlight,
 		QueueDepth:        s.cfg.QueueDepth,
-		InFlight:          s.inFlight.Load(),
+		InFlight:          m.inFlight.Value(),
 		Queued:            s.queued.Load(),
-		Accepted:          s.accepted.Load(),
-		RejectedOverload:  s.rejectedOverload.Load(),
-		Canceled:          s.canceled.Load(),
-		SingleRequests:    s.singleRequests.Load(),
-		BatchRequests:     s.batchRequests.Load(),
-		BatchItems:        s.batchItems.Load(),
-		V2Requests:        s.v2Requests.Load(),
-		TableRequests:     s.tableRequests.Load(),
-		CalibrateRequests: s.calibrateRequests.Load(),
+		Accepted:          m.accepted.Value(),
+		RejectedOverload:  m.rejected.Value(),
+		Canceled:          m.canceled.Value(),
+		SingleRequests:    m.requests.With("v1_wcet").Value(),
+		BatchRequests:     m.requests.With("v1_batch").Value(),
+		BatchItems:        m.batchItems.Value(),
+		V2Requests:        m.requests.With("v2_analyze").Value(),
+		TableRequests:     m.requests.With("v2_tables").Value(),
+		CalibrateRequests: m.requests.With("v2_calibrate").Value(),
 		ServingTable:      string(s.servingID()),
 		Cache: CacheStats{
-			Hits:      s.cache.hits.Load(),
-			Misses:    s.cache.misses.Load(),
-			Dedup:     s.dedup.Load(),
+			Hits:      m.cacheHits.Value(),
+			Misses:    m.cacheMisses.Value(),
+			Dedup:     m.dedup.Value(),
 			Entries:   s.cache.len(),
 			Capacity:  s.cfg.CacheEntries,
-			Evictions: s.cache.evictions.Load(),
+			Evictions: m.cacheEvictions.Value(),
 		},
 	}
 }
@@ -341,7 +389,7 @@ func (s *Server) StatsSnapshot() Stats {
 // finishes.
 func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	if err := ctx.Err(); err != nil {
-		s.canceled.Add(1)
+		s.metrics.canceled.Inc()
 		return nil, err
 	}
 	admitted := false
@@ -353,7 +401,7 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 	if !admitted {
 		if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
 			s.queued.Add(-1)
-			s.rejectedOverload.Add(1)
+			s.metrics.rejected.Inc()
 			return nil, errOverloaded
 		}
 		select {
@@ -361,16 +409,16 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 			s.queued.Add(-1)
 		case <-ctx.Done():
 			s.queued.Add(-1)
-			s.canceled.Add(1)
+			s.metrics.canceled.Inc()
 			return nil, ctx.Err()
 		}
 	}
-	s.accepted.Add(1)
-	s.inFlight.Add(1)
+	s.metrics.accepted.Inc()
+	s.metrics.inFlight.Add(1)
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			s.inFlight.Add(-1)
+			s.metrics.inFlight.Add(-1)
 			<-s.sem
 		})
 	}, nil
@@ -379,8 +427,9 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 // lookupOrCompute is the one cache-accounting point per request: a
 // counting LRU lookup, then the miss path. compute is the version-specific
 // evaluation (v1 or v2); the admission, caching and singleflight machinery
-// is shared.
-func (s *Server) lookupOrCompute(ctx context.Context, key string, compute func() (*cached, error)) (*cached, error) {
+// is shared. ctx carries the request trace (when one is active) into the
+// evaluation's spans.
+func (s *Server) lookupOrCompute(ctx context.Context, key string, compute func(context.Context) (*cached, error)) (*cached, error) {
 	if v, ok := s.cache.get(key); ok {
 		return v, nil
 	}
@@ -392,14 +441,16 @@ func (s *Server) lookupOrCompute(ctx context.Context, key string, compute func()
 // this one queued), join an identical in-flight evaluation, or evaluate.
 // ctx bounds only the join wait: an evaluation, once started, runs to
 // completion so its result can be cached for the next asker.
-func (s *Server) computeMiss(ctx context.Context, key string, compute func() (*cached, error)) (*cached, error) {
+func (s *Server) computeMiss(ctx context.Context, key string, compute func(context.Context) (*cached, error)) (*cached, error) {
 	if v, ok := s.cache.peek(key); ok {
 		return v, nil
 	}
 	s.flightMu.Lock()
 	if f, ok := s.flights[key]; ok {
 		s.flightMu.Unlock()
-		s.dedup.Add(1)
+		s.metrics.dedup.Inc()
+		_, jspan := telemetry.StartSpan(ctx, "join")
+		defer jspan.End()
 		select {
 		case <-f.done:
 			return f.val, f.err
@@ -411,7 +462,9 @@ func (s *Server) computeMiss(ctx context.Context, key string, compute func() (*c
 	s.flights[key] = f
 	s.flightMu.Unlock()
 
-	f.val, f.err = compute()
+	ectx, espan := telemetry.StartSpan(ctx, "evaluate")
+	f.val, f.err = compute(ectx)
+	espan.End()
 	if f.err == nil {
 		s.cache.put(key, f.val)
 	}
@@ -424,8 +477,8 @@ func (s *Server) computeMiss(ctx context.Context, key string, compute func() (*c
 
 // evaluateEncoded runs the v1 models under the given table version and
 // freezes the response together with its canonical encoding.
-func (s *Server) evaluateEncoded(req Request, table tabstore.ID) (*cached, error) {
-	resp, err := evaluateWith(s.analyzer, req, string(table))
+func (s *Server) evaluateEncoded(ctx context.Context, req Request, table tabstore.ID) (*cached, error) {
+	resp, err := evaluateWith(ctx, s.analyzer, req, string(table))
 	if err != nil {
 		return nil, err
 	}
@@ -438,8 +491,8 @@ func (s *Server) evaluateEncoded(req Request, table tabstore.ID) (*cached, error
 
 // evaluateV2Encoded runs an already-prepared request's selected models and
 // freezes the v2 response with its canonical encoding.
-func (s *Server) evaluateV2Encoded(sdkReq wcet.Request) (*cached, error) {
-	resp, err := evaluateV2Prepared(s.analyzer, sdkReq)
+func (s *Server) evaluateV2Encoded(ctx context.Context, sdkReq wcet.Request) (*cached, error) {
+	resp, err := evaluateV2Prepared(ctx, s.analyzer, sdkReq)
 	if err != nil {
 		return nil, err
 	}
@@ -460,7 +513,6 @@ func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	s.singleRequests.Add(1)
 	req, err := DecodeRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -474,8 +526,8 @@ func (s *Server) handleSingle(w http.ResponseWriter, r *http.Request) {
 	// content address, so a mid-request promote can neither poison the
 	// cache nor mix tables within one evaluation.
 	table := s.servingID()
-	s.serveCached(w, r, tableKey(canonicalKeyReg(s.analyzer.Registry(), req), table), func() (*cached, error) {
-		return s.evaluateEncoded(req, table)
+	s.serveCached(w, r, tableKey(canonicalKeyReg(s.analyzer.Registry(), req), table), func(ctx context.Context) (*cached, error) {
+		return s.evaluateEncoded(ctx, req, table)
 	})
 }
 
@@ -493,7 +545,6 @@ func (s *Server) handleV2Analyze(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	s.v2Requests.Add(1)
 	var req V2Request
 	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &req); err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -517,8 +568,8 @@ func (s *Server) handleV2Analyze(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	sdkReq.TableRef = string(table)
-	s.serveCached(w, r, tableKey(CanonicalKeyV2(s.analyzer.Registry(), req), table), func() (*cached, error) {
-		return s.evaluateV2Encoded(sdkReq)
+	s.serveCached(w, r, tableKey(CanonicalKeyV2(s.analyzer.Registry(), req), table), func(ctx context.Context) (*cached, error) {
+		return s.evaluateV2Encoded(ctx, sdkReq)
 	})
 }
 
@@ -541,19 +592,25 @@ func (s *Server) handleV2Models(w http.ResponseWriter, r *http.Request) {
 // serveCached is the shared single-request serving path of /v1/wcet and
 // /v2/analyze: pre-admission cache probe, admission control, evaluation on
 // the engine's bounded pool, deadline handling.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (*cached, error)) {
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func(context.Context) (*cached, error)) {
 	// Cache hits bypass admission control entirely: they cost a map
 	// lookup, and admission protects solver capacity, not the mux. The
 	// probe counts only hits — if admission rejects this request below,
 	// no evaluation was scheduled and the miss counter must not move.
-	if c, ok := s.cache.getHit(key); ok {
+	_, cspan := telemetry.StartSpan(r.Context(), "cache")
+	c, hit := s.cache.getHit(key)
+	cspan.SetAttr("hit", hit)
+	cspan.End()
+	if hit {
 		writeBody(w, c.body)
 		return
 	}
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	release, err := s.admit(ctx)
+	actx, aspan := telemetry.StartSpan(ctx, "admission")
+	release, err := s.admit(actx)
+	aspan.End()
 	if err != nil {
 		admissionError(w, err)
 		return
@@ -587,13 +644,13 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		case errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled):
 			// The deadline fired while joining an identical in-flight
 			// evaluation: a server-side timeout, not a bad request.
-			s.canceled.Add(1)
+			s.metrics.canceled.Inc()
 			httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request timed out: %w", out.err))
 		default:
 			httpError(w, http.StatusUnprocessableEntity, out.err)
 		}
 	case <-ctx.Done():
-		s.canceled.Add(1)
+		s.metrics.canceled.Inc()
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("request timed out: %w", ctx.Err()))
 	}
 }
@@ -603,7 +660,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	s.batchRequests.Add(1)
 	var batch BatchRequest
 	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &batch); err != nil {
 		httpError(w, decodeStatus(err), err)
@@ -614,11 +670,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("batch of %d requests exceeds the %d-item limit", len(batch.Requests), s.cfg.MaxBatchItems))
 		return
 	}
-	s.batchItems.Add(int64(len(batch.Requests)))
+	s.metrics.batchItems.Add(int64(len(batch.Requests)))
 
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	release, err := s.admit(ctx)
+	actx, aspan := telemetry.StartSpan(ctx, "admission")
+	release, err := s.admit(actx)
+	aspan.End()
 	if err != nil {
 		admissionError(w, err)
 		return
@@ -637,8 +695,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if err := req.validate(s.analyzer.Registry()); err != nil {
 				return nil, err
 			}
-			return s.lookupOrCompute(ctx, tableKey(canonicalKeyReg(s.analyzer.Registry(), req), table), func() (*cached, error) {
-				return s.evaluateEncoded(req, table)
+			return s.lookupOrCompute(ctx, tableKey(canonicalKeyReg(s.analyzer.Registry(), req), table), func(ctx context.Context) (*cached, error) {
+				return s.evaluateEncoded(ctx, req, table)
 			})
 		})
 	}()
@@ -646,7 +704,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	select {
 	case outcomes = <-ch:
 	case <-ctx.Done():
-		s.canceled.Add(1)
+		s.metrics.canceled.Inc()
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("batch timed out: %w", ctx.Err()))
 		return
 	}

@@ -120,7 +120,6 @@ func (s *Server) TableStore() *tabstore.Store { return s.store }
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.tableRequests.Add(1)
 		serving := string(s.servingID())
 		byID := make(map[string][]string)
 		for _, ref := range s.store.Refs() {
@@ -137,7 +136,6 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = EncodeJSON(w, out)
 	case http.MethodPost:
-		s.tableRequests.Add(1)
 		var req V2RegisterTableRequest
 		if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &req); err != nil {
 			httpError(w, decodeStatus(err), err)
@@ -178,7 +176,6 @@ func (s *Server) handleTableByRef(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required (POST only on /v2/tables and /v2/tables/{ref}/promote)"))
 		return
 	}
-	s.tableRequests.Add(1)
 	lt, id, err := s.store.Resolve(ref)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
@@ -199,13 +196,14 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request, ref strin
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	s.tableRequests.Add(1)
 	_, id, err := s.store.Resolve(ref)
 	if err != nil {
 		httpError(w, http.StatusNotFound, err)
 		return
 	}
 	s.serving.Store(id)
+	s.metrics.promotes.Inc()
+	s.logger.Info("table promoted", "ref", ref, "serving", string(id))
 	w.Header().Set("Content-Type", "application/json")
 	_ = EncodeJSON(w, V2PromoteResponse{Serving: string(id), Ref: ref})
 }
@@ -218,7 +216,6 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
-	s.calibrateRequests.Add(1)
 	var req V2CalibrateRequest
 	if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &req); err != nil {
 		httpError(w, decodeStatus(err), err)

@@ -239,13 +239,15 @@ func EvaluateV2(an *wcet.Analyzer, req V2Request) (*V2Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	return evaluateV2Prepared(an, sdkReq)
+	return evaluateV2Prepared(context.Background(), an, sdkReq)
 }
 
 // evaluateV2Prepared runs an already-validated, already-converted request —
-// the daemon's miss path, where Prepare ran before admission.
-func evaluateV2Prepared(an *wcet.Analyzer, sdkReq wcet.Request) (*V2Response, error) {
-	res, err := an.Analyze(context.Background(), sdkReq)
+// the daemon's miss path, where Prepare ran before admission. ctx carries
+// trace spans only; cancellation is stripped so the evaluation completes
+// for any singleflight followers.
+func evaluateV2Prepared(ctx context.Context, an *wcet.Analyzer, sdkReq wcet.Request) (*V2Response, error) {
+	res, err := an.Analyze(context.WithoutCancel(ctx), sdkReq)
 	if err != nil {
 		return nil, err
 	}

@@ -33,6 +33,18 @@ import (
 	"sync"
 
 	"repro/internal/platform"
+	"repro/internal/telemetry"
+)
+
+// Process-wide table-lifecycle telemetry on the default registry
+// (exposed by wcetd's GET /metrics).
+var (
+	mRegistrations = telemetry.Default().Counter("tabstore_registrations_total",
+		"Tables newly registered (idempotent re-Puts of known content excluded).")
+	mRefUpdates = telemetry.Default().Counter("tabstore_ref_updates_total",
+		"Ref creations and retargets (promotes included).")
+	mResolves = telemetry.Default().Counter("tabstore_resolves_total",
+		"Ref/ID lookups served.")
 )
 
 // ID is the immutable identity of one latency table: the hex SHA-256 of
@@ -279,6 +291,7 @@ func (s *Store) Put(lt platform.LatencyTable) (ID, error) {
 		}
 	}
 	s.tables[id] = lt
+	mRegistrations.Inc()
 	return id, nil
 }
 
@@ -311,6 +324,7 @@ func (s *Store) SetRef(name string, id ID) error {
 		}
 	}
 	s.refs[name] = id
+	mRefUpdates.Inc()
 	return nil
 }
 
@@ -321,10 +335,12 @@ func (s *Store) Resolve(ref string) (platform.LatencyTable, ID, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if id, ok := s.refs[ref]; ok {
+		mResolves.Inc()
 		return s.tables[id], id, nil
 	}
 	if id := ID(ref); id.Valid() {
 		if lt, ok := s.tables[id]; ok {
+			mResolves.Inc()
 			return lt, id, nil
 		}
 	}

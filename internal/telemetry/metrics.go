@@ -1,0 +1,250 @@
+// Package telemetry is the repository's zero-dependency observability
+// core: atomic counters, gauges, fixed-bucket latency histograms and
+// labeled metric vectors collected in a Registry that exposes itself in
+// Prometheus text format, plus lightweight request tracing — a trace ID
+// and span tree propagated through context.Context.
+//
+// The package deliberately imports nothing outside the standard library
+// (and nothing from this repository), so every layer — the LP/ILP
+// solvers, the SDK analyzer, the campaign engine, the table store, the
+// serving layer — can instrument itself without dependency cycles and
+// without pulling a metrics client into the module.
+//
+// Hot-path discipline: a Counter or Gauge update is one atomic add; a
+// Histogram observation is two atomic adds plus a branch-free bucket
+// search over a small fixed array. Code on a solver hot path should
+// accumulate locally and flush once per solve (see internal/ilp), not
+// count per pivot.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is a programming error and is ignored so a
+// counter can never go backwards (snapshot monotonicity is asserted by
+// tests and relied on by dashboards).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, in-flight
+// requests, connected stream clients).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets are the histogram upper bounds, in seconds, used
+// when a histogram is constructed without explicit buckets: 1µs to 30s in
+// roughly 2.5× steps, covering everything from a cache hit (~40ns lands
+// in the first bucket) to a timed-out solve.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are cumulative
+// on exposition (Prometheus `le` semantics); quantiles are estimated by
+// linear interpolation within the winning bucket.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds in seconds; +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveSeconds(d.Seconds())
+}
+
+// ObserveSeconds records one observation given in seconds.
+func (h *Histogram) ObserveSeconds(s float64) {
+	i := sort.SearchFloat64s(h.bounds, s)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(s * 1e9))
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Quantile estimates the q-quantile (0 < q < 1) in seconds from the
+// bucket counts: find the bucket holding the q-th observation and
+// interpolate linearly inside it. Returns 0 with no observations. The
+// estimate is bucket-resolution-bounded, which is exactly what an ops
+// dashboard needs (p50/p95/p99 tiles), not a substitute for a trace.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if seen+n >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper bound to interpolate
+				// toward; report its lower edge.
+				return lo
+			}
+			hi := h.bounds[i]
+			frac := (rank - seen) / n
+			if math.IsNaN(frac) || frac < 0 {
+				frac = 0
+			}
+			return lo + (hi-lo)*frac
+		}
+		seen += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// cumulative returns the cumulative bucket counts aligned with bounds,
+// plus the +Inf total.
+func (h *Histogram) cumulative() ([]int64, int64) {
+	out := make([]int64, len(h.bounds))
+	var acc int64
+	for i := range h.bounds {
+		acc += h.counts[i].Load()
+		out[i] = acc
+	}
+	return out, acc + h.counts[len(h.bounds)].Load()
+}
+
+// CounterVec is a family of counters keyed by one label value — e.g.
+// wcetd_requests_total{endpoint="v1_wcet"}. Children are created on
+// first use and never removed; With is a read-locked map hit on the
+// steady state.
+type CounterVec struct {
+	label string
+
+	mu    sync.RWMutex
+	kids  map[string]*Counter
+	order []string
+}
+
+func newCounterVec(label string) *CounterVec {
+	return &CounterVec{label: label, kids: make(map[string]*Counter)}
+}
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.kids[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.kids[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.kids[value] = c
+	v.order = append(v.order, value)
+	sort.Strings(v.order)
+	return c
+}
+
+// values returns the label values in sorted order (stable exposition).
+func (v *CounterVec) values() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]string(nil), v.order...)
+}
+
+// HistogramVec is a family of histograms keyed by one label value — e.g.
+// analyzer_solve_seconds{model="ilpPtac"}.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+
+	mu    sync.RWMutex
+	kids  map[string]*Histogram
+	order []string
+}
+
+func newHistogramVec(label string, bounds []float64) *HistogramVec {
+	return &HistogramVec{label: label, bounds: bounds, kids: make(map[string]*Histogram)}
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.kids[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok := v.kids[value]; ok {
+		return h
+	}
+	h = newHistogram(v.bounds)
+	v.kids[value] = h
+	v.order = append(v.order, value)
+	sort.Strings(v.order)
+	return h
+}
+
+func (v *HistogramVec) values() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return append([]string(nil), v.order...)
+}

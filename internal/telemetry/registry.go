@@ -1,0 +1,284 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// kind discriminates what a registered metric holds.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindCounterVec
+	kindHistogramVec
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterVec:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series family.
+type metric struct {
+	name string
+	help string
+	kind kind
+
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+	cvec    *CounterVec
+	hvec    *HistogramVec
+}
+
+// Registry holds an ordered set of metrics and renders them. Metric
+// names must be unique within a registry; registering a duplicate
+// panics (metric registration happens at package init or construction
+// time, so a collision is a programming error, not a runtime
+// condition).
+//
+// Construct with NewRegistry, or use the process-wide Default registry,
+// where the solver, analyzer, campaign and table-store layers register
+// their package-level metrics.
+type Registry struct {
+	mu    sync.Mutex
+	ms    []*metric
+	names map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{names: make(map[string]bool)}
+}
+
+// defaultRegistry is the process-wide registry package-level metrics
+// (solver, analyzer, campaign, tabstore, calib) register into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) register(m *metric) {
+	if !validName(m.name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", m.name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", m.name))
+	}
+	r.names[m.name] = true
+	r.ms = append(r.ms, m)
+}
+
+// validName enforces the Prometheus metric-name charset (we additionally
+// require lowercase-first, which every metric here follows anyway).
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		case c >= 'A' && c <= 'Z':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at
+// exposition time — for values another data structure already tracks
+// (cache entry counts, engine pool width).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// Histogram registers and returns a new histogram; nil bounds select
+// DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// CounterVec registers and returns a labeled counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := newCounterVec(label)
+	r.register(&metric{name: name, help: help, kind: kindCounterVec, cvec: v})
+	return v
+}
+
+// HistogramVec registers and returns a labeled histogram family; nil
+// bounds select DefaultLatencyBuckets.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := newHistogramVec(label, bounds)
+	r.register(&metric{name: name, help: help, kind: kindHistogramVec, hvec: v})
+	return v
+}
+
+// snapshotMetrics returns the registered metrics under the lock, for
+// iteration without holding it (the slice only ever grows).
+func (r *Registry) snapshotMetrics() []*metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*metric(nil), r.ms...)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (text/plain; version=0.0.4): HELP and TYPE lines per family,
+// one sample line per series, histogram families as cumulative _bucket
+// series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, m := range r.snapshotMetrics() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s %d\n", m.name, m.gauge.Value())
+		case kindGaugeFunc:
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.fn()))
+		case kindHistogram:
+			writeHistogram(bw, m.name, "", m.hist)
+		case kindCounterVec:
+			for _, lv := range m.cvec.values() {
+				fmt.Fprintf(bw, "%s{%s=%q} %d\n", m.name, m.cvec.label, lv, m.cvec.With(lv).Value())
+			}
+		case kindHistogramVec:
+			for _, lv := range m.hvec.values() {
+				writeHistogram(bw, m.name, fmt.Sprintf("%s=%q", m.hvec.label, lv), m.hvec.With(lv))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(w io.Writer, name, labels string, h *Histogram) {
+	cum, total := h.cumulative()
+	lePrefix := labels // inside {...}, before the le label
+	if lePrefix != "" {
+		lePrefix += ","
+	}
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, lePrefix, formatFloat(b), cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, lePrefix, total)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count %d\n", name, total)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, formatFloat(h.Sum()))
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, total)
+	}
+}
+
+// Snapshot flattens the registry into a name → value map for the SSE
+// stream and the dashboard: plain series under their name, labeled
+// series as name{label="value"}, histograms as name_count, name_sum and
+// estimated name_p50/name_p95/name_p99 (seconds).
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case kindCounter:
+			out[m.name] = float64(m.counter.Value())
+		case kindGauge:
+			out[m.name] = float64(m.gauge.Value())
+		case kindGaugeFunc:
+			out[m.name] = m.fn()
+		case kindHistogram:
+			snapshotHistogram(out, m.name, m.hist)
+		case kindCounterVec:
+			for _, lv := range m.cvec.values() {
+				out[fmt.Sprintf("%s{%s=%q}", m.name, m.cvec.label, lv)] = float64(m.cvec.With(lv).Value())
+			}
+		case kindHistogramVec:
+			for _, lv := range m.hvec.values() {
+				snapshotHistogram(out, fmt.Sprintf("%s{%s=%q}", m.name, m.hvec.label, lv), m.hvec.With(lv))
+			}
+		}
+	}
+	return out
+}
+
+func snapshotHistogram(out map[string]float64, name string, h *Histogram) {
+	out[name+"_count"] = float64(h.Count())
+	out[name+"_sum"] = h.Sum()
+	out[name+"_p50"] = h.Quantile(0.50)
+	out[name+"_p95"] = h.Quantile(0.95)
+	out[name+"_p99"] = h.Quantile(0.99)
+}
+
+// SnapshotKeys returns Snapshot's keys in sorted order (deterministic
+// rendering for tests).
+func SnapshotKeys(snap map[string]float64) []string {
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Handler serves the given registries concatenated in Prometheus text
+// format — the GET /metrics endpoint. Registries render in argument
+// order; names must not collide across them (the serving layer keeps
+// its per-server metrics in an own registry beside the process-wide
+// Default one).
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if err := r.WritePrometheus(w); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterNeverDecreases(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{0.1, 0.2, 0.4, 0.8})
+	// 100 observations uniformly in (0, 0.1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.ObserveSeconds(float64(i) / 1000)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	// p50 interpolates to about the middle of the first bucket.
+	if p50 := h.Quantile(0.5); p50 < 0.04 || p50 > 0.06 {
+		t.Fatalf("p50 = %v, want ~0.05", p50)
+	}
+	// Push one large observation into the overflow bucket; p100-ish
+	// quantiles report the last finite bound (the overflow lower edge).
+	h.ObserveSeconds(10)
+	if q := h.Quantile(0.999); q != 0.8 {
+		t.Fatalf("overflow quantile = %v, want 0.8", q)
+	}
+	if h.Sum() < 10 {
+		t.Fatalf("Sum = %v, want >= 10", h.Sum())
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := newHistogram(nil)
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestRegistryPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Add(3)
+	g := r.Gauge("test_in_flight", "In-flight requests.")
+	g.Set(2)
+	r.GaugeFunc("test_entries", "Entries.", func() float64 { return 1.5 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveSeconds(0.05)
+	h.ObserveSeconds(0.5)
+	h.ObserveSeconds(5)
+	v := r.CounterVec("test_by_endpoint_total", "Per endpoint.", "endpoint")
+	v.With("b").Inc()
+	v.With("a").Add(2)
+	hv := r.HistogramVec("test_solve_seconds", "Per model.", "model", []float64{1})
+	hv.With("m").ObserveSeconds(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP test_requests_total Requests handled.\n",
+		"# TYPE test_requests_total counter\n",
+		"test_requests_total 3\n",
+		"# TYPE test_in_flight gauge\n",
+		"test_in_flight 2\n",
+		"test_entries 1.5\n",
+		"# TYPE test_latency_seconds histogram\n",
+		`test_latency_seconds_bucket{le="0.1"} 1` + "\n",
+		`test_latency_seconds_bucket{le="1"} 2` + "\n",
+		`test_latency_seconds_bucket{le="+Inf"} 3` + "\n",
+		"test_latency_seconds_count 3\n",
+		`test_by_endpoint_total{endpoint="a"} 2` + "\n",
+		`test_by_endpoint_total{endpoint="b"} 1` + "\n",
+		`test_solve_seconds_bucket{model="m",le="1"} 1` + "\n",
+		`test_solve_seconds_count{model="m"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n--- got ---\n%s", want, out)
+		}
+	}
+	// Label values sorted: a before b.
+	if strings.Index(out, `endpoint="a"`) > strings.Index(out, `endpoint="b"`) {
+		t.Errorf("label values not sorted:\n%s", out)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup_total", "y")
+}
+
+func TestRegistryInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid name did not panic")
+		}
+	}()
+	r.Counter("bad name", "x")
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "x").Add(2)
+	r.Histogram("snap_seconds", "x", []float64{1, 2}).ObserveSeconds(1.5)
+	r.CounterVec("snap_vec_total", "x", "k").With("v").Inc()
+	snap := r.Snapshot()
+	if snap["snap_total"] != 2 {
+		t.Errorf("snap_total = %v", snap["snap_total"])
+	}
+	if snap["snap_seconds_count"] != 1 {
+		t.Errorf("snap_seconds_count = %v", snap["snap_seconds_count"])
+	}
+	if snap[`snap_vec_total{k="v"}`] != 1 {
+		t.Errorf(`snap_vec_total{k="v"} = %v`, snap[`snap_vec_total{k="v"}`])
+	}
+	keys := SnapshotKeys(snap)
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("SnapshotKeys not sorted: %v", keys)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "x").Inc()
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status = %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := res.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if !strings.Contains(sb.String(), "handler_total 1") {
+		t.Fatalf("body missing series:\n%s", sb.String())
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "request")
+	if len(tr.ID) != 16 {
+		t.Fatalf("trace ID %q, want 16 hex chars", tr.ID)
+	}
+	root := FromContext(ctx)
+	if root == nil {
+		t.Fatal("FromContext returned nil inside a trace")
+	}
+	cctx, solve := StartSpan(ctx, "solve")
+	solve.SetAttr("nodes", 7)
+	_, inner := StartSpan(cctx, "pivot")
+	inner.End()
+	solve.End()
+	out := tr.Finish()
+	if out.Root.Name != "request" || len(out.Root.Spans) != 1 {
+		t.Fatalf("unexpected tree: %+v", out.Root)
+	}
+	s := out.Root.Spans[0]
+	if s.Name != "solve" || s.Attrs["nodes"] != 7 {
+		t.Fatalf("solve span: %+v", s)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "pivot" {
+		t.Fatalf("nested span: %+v", s.Spans)
+	}
+	if _, err := json.Marshal(out); err != nil {
+		t.Fatalf("trace not marshalable: %v", err)
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	ctx, span := StartSpan(context.Background(), "orphan")
+	if span != nil {
+		t.Fatal("StartSpan without a trace should return nil span")
+	}
+	if Active(ctx) {
+		t.Fatal("ctx should not be active")
+	}
+	span.SetAttr("k", "v") // must not panic
+	span.End()             // must not panic
+}
+
+func TestTraceConcurrentChildren(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "fanout")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := StartSpan(ctx, "model")
+			s.SetAttr("w", 1)
+			s.End()
+		}()
+	}
+	wg.Wait()
+	out := tr.Finish()
+	if len(out.Root.Spans) != 16 {
+		t.Fatalf("children = %d, want 16", len(out.Root.Spans))
+	}
+}
+
+func TestUnendedSpanInheritsParentEnd(t *testing.T) {
+	ctx, tr := NewTrace(context.Background(), "r")
+	_, s := StartSpan(ctx, "leaked")
+	_ = s // never ended
+	time.Sleep(2 * time.Millisecond)
+	out := tr.Finish()
+	leaked := out.Root.Spans[0]
+	if leaked.DurationUs <= 0 {
+		t.Fatalf("unended span duration = %d, want > 0", leaked.DurationUs)
+	}
+	if leaked.DurationUs > out.Root.DurationUs {
+		t.Fatalf("child duration %d exceeds root %d", leaked.DurationUs, out.Root.DurationUs)
+	}
+}

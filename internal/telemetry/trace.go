@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Request tracing: a Trace is a per-request span tree propagated through
+// context.Context. The serving layer opens a trace per request; each
+// layer it crosses (admission, validation, cache lookup, per-model
+// solve, RTA) opens a child span under whatever span the context
+// currently carries, annotates it with attributes (cache hit, branch &
+// bound node count, warm-start count) and ends it. The finished tree is
+// returned inline to clients that ask for it (X-Wcet-Trace: 1) and
+// logged for slow requests.
+//
+// Everything is nil-safe: StartSpan on a context with no active trace
+// returns a nil *Span whose methods are no-ops, so instrumented code
+// needs no "is tracing on" branches beyond the one context lookup.
+
+// spanKey carries the current span through a context.
+type spanKey struct{}
+
+// Span is one timed operation in a trace. Spans are safe for concurrent
+// use: parallel model evaluations append children to the same parent.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key string
+	val any
+}
+
+// Trace is a whole request's span tree plus its wire identity.
+type Trace struct {
+	// ID is the request's trace identifier (16 hex chars), also returned
+	// in the X-Wcet-Trace-Id response header and carried by slow-request
+	// log lines.
+	ID   string
+	root *Span
+}
+
+// newID returns a 64-bit random hex trace ID.
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; a zero ID
+		// keeps tracing non-fatal here.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace opens a trace whose root span has the given name and returns
+// a context carrying it. The caller owns the root: call Finish (or the
+// root's End) when the request completes.
+func NewTrace(ctx context.Context, name string) (context.Context, *Trace) {
+	root := &Span{name: name, start: time.Now()}
+	t := &Trace{ID: newID(), root: root}
+	return context.WithValue(ctx, spanKey{}, root), t
+}
+
+// FromContext returns the context's current span, or nil when no trace
+// is active.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Active reports whether ctx carries a live trace.
+func Active(ctx context.Context) bool { return FromContext(ctx) != nil }
+
+// StartSpan opens a child span under the context's current span and
+// returns a context carrying the child. With no active trace it returns
+// ctx unchanged and a nil span (whose methods are no-ops).
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := &Span{name: name, start: time.Now()}
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return context.WithValue(ctx, spanKey{}, child), child
+}
+
+// SetAttr attaches a key/value attribute to the span. Values should be
+// JSON-marshalable scalars (ints, strings, bools).
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attr{key: key, val: val})
+	s.mu.Unlock()
+}
+
+// End closes the span. Ending twice keeps the first end time; an
+// unended span inherits its parent's end on rendering.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// Finish ends the root span and renders the trace for the wire.
+func (t *Trace) Finish() *TraceJSON {
+	t.root.End()
+	root := t.root.render(t.root.start, t.root.end)
+	return &TraceJSON{
+		ID:         t.ID,
+		DurationUs: root.DurationUs,
+		Root:       root,
+	}
+}
+
+// TraceJSON is the wire form of a finished trace: what a request with
+// X-Wcet-Trace: 1 gets back beside its response.
+type TraceJSON struct {
+	ID         string    `json:"id"`
+	DurationUs int64     `json:"durationUs"`
+	Root       *SpanJSON `json:"root"`
+}
+
+// SpanJSON is one span in wire form. StartUs is the offset from the
+// trace's start, so a client can reconstruct the timeline without
+// absolute clocks.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	StartUs    int64          `json:"startUs"`
+	DurationUs int64          `json:"durationUs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Spans      []*SpanJSON    `json:"spans,omitempty"`
+}
+
+// render converts the span subtree to wire form. traceStart anchors
+// offsets; parentEnd substitutes for spans never explicitly ended.
+func (s *Span) render(traceStart, parentEnd time.Time) *SpanJSON {
+	s.mu.Lock()
+	end := s.end
+	attrs := append([]attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if end.IsZero() {
+		end = parentEnd
+	}
+	out := &SpanJSON{
+		Name:       s.name,
+		StartUs:    s.start.Sub(traceStart).Microseconds(),
+		DurationUs: end.Sub(s.start).Microseconds(),
+	}
+	if len(attrs) > 0 {
+		out.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			out.Attrs[a.key] = a.val
+		}
+	}
+	for _, c := range children {
+		out.Spans = append(out.Spans, c.render(traceStart, end))
+	}
+	return out
+}

@@ -282,6 +282,25 @@ func cmdGate(args []string) {
 			failures = append(failures, fmt.Sprintf("%s: %.0f allocs/op vs committed %.0f",
 				name, c.AllocsOp, r.AllocsOp))
 		}
+		// Rate metrics ("*_rate": cache_hit_rate, warm_start_rate, ...)
+		// are effectiveness fractions, so they gate in the opposite
+		// direction: the run fails when the current rate falls more than
+		// the threshold below the committed one. Ratios like ilp_x are
+		// reproduced paper values, not rates — they stay informational.
+		for unit, rv := range r.Metrics {
+			if !strings.HasSuffix(unit, "_rate") || rv <= 0 {
+				continue
+			}
+			cv, ok := c.Metrics[unit]
+			if !ok {
+				continue
+			}
+			if cv < rv*(1-threshold) {
+				verdict = "REGRESSION"
+				failures = append(failures, fmt.Sprintf("%s: %s %.3f vs committed %.3f (-%.1f%%)",
+					name, unit, cv, rv, 100*(1-cv/rv)))
+			}
+		}
 		fmt.Printf("  %-55s p50 %12.0f ns/op  (ref %12.0f)  allocs %6.0f (ref %6.0f)  %s\n",
 			name, c.P50NsOp, r.P50NsOp, c.AllocsOp, r.AllocsOp, verdict)
 	}

@@ -135,6 +135,67 @@ echo "$stats" | grep -q '"hits"'
 echo "$stats" | grep -q '"misses"'
 echo "$stats" | grep -q '"maxInFlight"'
 
+echo "serve-smoke: metrics exposition"
+# Re-post the first request so the result cache provably has a hit, then
+# scrape /metrics and assert the key series exist with sane values.
+curl -fsS -X POST "http://$ADDR/v1/wcet" -d '{
+  "scenario": 1,
+  "analysed":   {"CCNT": 157800, "PS": 18000, "DS": 27000, "PM": 3000},
+  "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
+}' >/dev/null
+metrics=$(curl -fsS "http://$ADDR/metrics")
+for series in wcetd_requests_total wcetd_cache_hits_total solver_warm_starts_total \
+              solver_ilp_solves_total analyzer_estimates_total campaign_cells_total; do
+  if ! echo "$metrics" | grep -q "^# TYPE $series "; then
+    echo "serve-smoke: /metrics missing $series" >&2
+    exit 1
+  fi
+done
+v1_requests=$(echo "$metrics" | grep '^wcetd_requests_total{endpoint="v1_wcet"}' | awk '{print $2}')
+if [ -z "$v1_requests" ] || [ "$v1_requests" -lt 2 ]; then
+  echo "serve-smoke: wcetd_requests_total{endpoint=\"v1_wcet\"} = '$v1_requests', want >= 2" >&2
+  exit 1
+fi
+cache_hits=$(echo "$metrics" | grep '^wcetd_cache_hits_total ' | awk '{print $2}')
+if [ -z "$cache_hits" ] || [ "$cache_hits" -lt 1 ]; then
+  echo "serve-smoke: wcetd_cache_hits_total = '$cache_hits', want >= 1 (a request was repeated)" >&2
+  exit 1
+fi
+ilp_solves=$(echo "$metrics" | grep '^solver_ilp_solves_total ' | awk '{print $2}')
+if [ -z "$ilp_solves" ] || [ "$ilp_solves" -lt 1 ]; then
+  echo "serve-smoke: solver_ilp_solves_total = '$ilp_solves', want >= 1" >&2
+  exit 1
+fi
+
+echo "serve-smoke: request tracing"
+# A body no earlier step submitted, so the trace walks the full miss path
+# (cache → admission → evaluate → per-model solves), not a cache hit.
+traced=$(curl -fsS -D /tmp/serve_smoke_headers.$$ -X POST "http://$ADDR/v1/wcet" \
+  -H 'X-Wcet-Trace: 1' -d '{
+  "scenario": 2,
+  "analysed":   {"CCNT": 302500, "PS": 40000, "DS": 51000, "PM": 6100, "DMC": 1200, "DMD": 400},
+  "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
+}')
+grep -qi '^X-Wcet-Trace-Id:' /tmp/serve_smoke_headers.$$ || {
+  echo "serve-smoke: traced response missing X-Wcet-Trace-Id header" >&2
+  rm -f /tmp/serve_smoke_headers.$$
+  exit 1
+}
+rm -f /tmp/serve_smoke_headers.$$
+echo "$traced" | grep -q '"trace"'
+echo "$traced" | grep -q '"response"'
+echo "$traced" | grep -q '"spans"'
+echo "$traced" | grep -q '"name":"model:ilpPtac"'
+# The inline response must still carry the analysis payload.
+echo "$traced" | grep -q '"ilpPtac"'
+
+echo "serve-smoke: dashboard + stats stream"
+curl -fsS "http://$ADDR/v2/dashboard" | grep -q '/v2/stats/stream'
+# The stream never ends on its own; cap it with -m and swallow curl's
+# timeout exit — the assertion is that an SSE stats event arrived.
+(curl -fsS -m 3 -N "http://$ADDR/v2/stats/stream?interval=100" 2>/dev/null || true) \
+  | head -3 | grep -q '^event: stats'
+
 echo "serve-smoke: graceful shutdown"
 kill -TERM "$PID"
 # wait returns wcetd's exit status: 0 only if it drained and exited

@@ -5,8 +5,25 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/rta"
+	"repro/internal/telemetry"
+)
+
+// Process-wide analyzer telemetry on the default registry, exposed by
+// wcetd's GET /metrics. All Analyzer instances share these series: the
+// per-model label is the interesting axis, not which facade instance
+// evaluated it.
+var (
+	mEstimates = telemetry.Default().CounterVec("analyzer_estimates_total",
+		"Model evaluations completed, by canonical model name (cache hits included).", "model")
+	mSolveSeconds = telemetry.Default().HistogramVec("analyzer_solve_seconds",
+		"Wall time of actual model solves, by canonical model name (cache hits excluded).", "model", nil)
+	mEstCacheHits = telemetry.Default().Counter("analyzer_cache_hits_total",
+		"Estimate-cache hits across all Analyzers.")
+	mEstCacheMisses = telemetry.Default().Counter("analyzer_cache_misses_total",
+		"Estimate-cache misses (each one is a real solve) across all Analyzers.")
 )
 
 // Analyzer is the SDK facade: it fixes a registry, platform, scenario,
@@ -388,7 +405,10 @@ func (a *Analyzer) analyze(ctx context.Context, req Request, sem chan struct{}) 
 		StallMode:         req.StallMode,
 		DropContenderInfo: req.DropContenderInfo,
 	}
-	if err := in.Validate(); err != nil {
+	_, vspan := telemetry.StartSpan(ctx, "validate")
+	err := in.Validate()
+	vspan.End()
+	if err != nil {
 		return nil, err
 	}
 
@@ -398,7 +418,9 @@ func (a *Analyzer) analyze(ctx context.Context, req Request, sem chan struct{}) 
 	}
 	res := &Result{Estimates: estimates}
 	if req.RTA != nil {
+		_, rspan := telemetry.StartSpan(ctx, "rta")
 		verdict, err := a.analyzeRTA(*req.RTA, res)
+		rspan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -433,11 +455,20 @@ func (a *Analyzer) fanOut(ctx context.Context, names []string, in Input, sem cha
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			est, err := a.estimateCached(ctx, name, model, in)
+			mctx, span := telemetry.StartSpan(ctx, "model:"+name)
+			est, cached, err := a.estimateCached(mctx, name, model, in)
 			if err != nil {
+				span.End()
 				errs[i] = fmt.Errorf("wcet: model %s: %w", name, err)
 				return
 			}
+			if span != nil {
+				span.SetAttr("cached", cached)
+				span.SetAttr("nodes", est.Nodes)
+				span.SetAttr("warmStarts", est.WarmStarts)
+				span.End()
+			}
+			mEstimates.With(name).Inc()
 			out[i] = ModelEstimate{Name: name, Estimate: est}
 		}(i, name, model)
 	}
@@ -450,21 +481,35 @@ func (a *Analyzer) fanOut(ctx context.Context, names []string, in Input, sem cha
 	return out, nil
 }
 
-// estimateCached wraps one model evaluation with the optional LRU.
-func (a *Analyzer) estimateCached(ctx context.Context, name string, model ContentionModel, in Input) (Estimate, error) {
+// estimateCached wraps one model evaluation with the optional LRU; the
+// returned bool reports whether the cache served it.
+func (a *Analyzer) estimateCached(ctx context.Context, name string, model ContentionModel, in Input) (Estimate, bool, error) {
 	if a.cache == nil {
-		return model.Estimate(ctx, in)
+		est, err := a.timedEstimate(ctx, name, model, in)
+		return est, false, err
 	}
 	key := canonKey(name, in)
 	if est, ok := a.cache.get(key); ok {
-		return est, nil
+		mEstCacheHits.Inc()
+		return est, true, nil
 	}
-	est, err := model.Estimate(ctx, in)
+	mEstCacheMisses.Inc()
+	est, err := a.timedEstimate(ctx, name, model, in)
 	if err != nil {
-		return Estimate{}, err
+		return Estimate{}, false, err
 	}
 	a.cache.put(key, est)
-	return est, nil
+	return est, false, nil
+}
+
+// timedEstimate runs the real solve under the per-model latency
+// histogram (cache hits never reach it, so the series measures solver
+// work, not lookup time).
+func (a *Analyzer) timedEstimate(ctx context.Context, name string, model ContentionModel, in Input) (Estimate, error) {
+	start := time.Now()
+	est, err := model.Estimate(ctx, in)
+	mSolveSeconds.With(name).Observe(time.Since(start))
+	return est, err
 }
 
 // analyzeRTA runs response-time analysis with the analysed task's WCET
