@@ -5,7 +5,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 GOVULNCHECK ?= govulncheck
 
-.PHONY: all build test race bench bench-gate fmt lint vuln serve-smoke
+.PHONY: all build test race bench bench-gate profile fmt lint vuln serve-smoke
 
 all: build lint test
 
@@ -27,6 +27,26 @@ bench:
 # scripts/bench_gate.sh and docs/BENCHMARKING.md).
 bench-gate:
 	bash scripts/bench_gate.sh
+
+# profile = CPU + mutex profiles of the two hot paths this repo optimises:
+# the parallel branch & bound solve (BenchmarkTable5Parallel/scenario2) and
+# the saturated serving loop (BenchmarkServeSaturated). Profiles land in
+# profiles/; inspect with `go tool pprof profiles/solve_cpu.out`. The mutex
+# profile is the one to read after a cache-sharding or incumbent-lock
+# change — it shows exactly which lock the workers queued on.
+PROFILE_BENCHTIME ?= 2s
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkTable5Parallel/scenario2' \
+		-benchtime $(PROFILE_BENCHTIME) \
+		-cpuprofile profiles/solve_cpu.out \
+		-mutexprofile profiles/solve_mutex.out \
+		-o profiles/repro.test .
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSaturated' \
+		-benchtime $(PROFILE_BENCHTIME) \
+		-cpuprofile profiles/serve_cpu.out \
+		-mutexprofile profiles/serve_mutex.out \
+		-o profiles/repro.test .
 
 fmt:
 	gofmt -w .

@@ -253,9 +253,28 @@ type Options struct {
 	// have plateaus that exact search must enumerate; a gap of one
 	// request latency collapses them while UpperBound stays sound.
 	Gap float64
+	// Workers, when greater than 1, lets the branch & bound explore
+	// subtrees concurrently once the tree has proved itself large: the
+	// search always starts with an exact sequential prefix of up to
+	// MinParallelNodes nodes (bit-identical to Workers=1, so small trees
+	// never pay any coordination overhead), and only a search still open
+	// after the prefix fans out across a worker pool. See docs/SOLVER.md
+	// "Parallel branch & bound" for the determinism contract.
+	Workers int
+	// MinParallelNodes is the sequential-prefix budget before a
+	// Workers>1 search goes parallel; 0 means the default (256). Only
+	// consulted when Workers > 1.
+	MinParallelNodes int
 }
 
-const defaultMaxNodes = 1_000_000
+const (
+	defaultMaxNodes = 1_000_000
+	// defaultMinParallelNodes is the node-count heuristic behind the
+	// "1 worker for small trees" rule: a tree that closes within this
+	// many nodes solves in well under a millisecond sequentially, which
+	// is below the cost of spinning up and draining a worker pool.
+	defaultMinParallelNodes = 256
+)
 
 // intTol is the integrality tolerance: relaxation values this close to an
 // integer are accepted as integral.
@@ -270,6 +289,12 @@ type node struct {
 	// bound is the parent relaxation objective, used for best-first
 	// ordering and pruning.
 	bound float64
+	// path is the branch path from the root: one digit per branching
+	// decision, 0 for the dive-preferred child and 1 for the other. Only
+	// tracked when a solve may go parallel (Workers > 1) — it is the
+	// total order behind the deterministic equal-objective tie-break —
+	// and nil otherwise.
+	path []byte
 }
 
 // solverPool recycles lp.Solvers (and with them their tableau arenas)
@@ -281,6 +306,14 @@ var solverPool = sync.Pool{New: func() any {
 }}
 
 // Solve maximizes the problem over integer assignments.
+//
+// With opts.Workers <= 1 the search is the classic sequential branch &
+// bound. With Workers > 1 it runs in two phases: an exact sequential
+// prefix of up to opts.MinParallelNodes nodes — bit-identical to the
+// sequential search, so any tree that closes within the prefix returns
+// exactly what Workers=1 would — and, only if the tree is still open
+// after that, a parallel phase across a worker pool (see parallel.go for
+// the determinism contract).
 func (p *Problem) Solve(opts Options) (Solution, error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes <= 0 {
@@ -296,17 +329,25 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 	solver := solverPool.Get().(*lp.Solver)
 	mPoolGets.Inc()
 	mILPSolves.Inc()
-	nodes := 0
+	s := &search{
+		p:        p,
+		rel:      rel,
+		solver:   solver,
+		opts:     opts,
+		maxNodes: maxNodes,
+		bestObj:  math.Inf(-1),
+	}
 	statsBase := solver.Stats()
 	defer func() {
 		// One flush per Solve: the per-node accounting stayed in the
-		// Solver's plain fields until here.
+		// Solver's plain fields until here. (The parallel phase flushes
+		// its workers' deltas separately, after they have all joined.)
 		d := solver.Stats()
 		mWarmStarts.Add(d.Warm - statsBase.Warm)
 		mWarmFallbacks.Add(d.WarmFallbacks - statsBase.WarmFallbacks)
 		mColdSolves.Add(d.Cold - statsBase.Cold)
 		mPivots.Add(d.Pivots - statsBase.Pivots)
-		mBBNodes.Add(int64(nodes))
+		mBBNodes.Add(int64(s.nodes))
 		solverPool.Put(solver)
 	}()
 
@@ -316,91 +357,173 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 	// rounds down to the incumbent value cannot improve on it. This
 	// integral pruning is what keeps the large-count contention ILPs
 	// (tens of thousands of requests) at a handful of nodes.
-	objIntegral := true
+	s.objIntegral = true
 	for j, c := range p.obj {
 		if c != math.Trunc(c) || (c != 0 && !p.integer[j]) {
-			objIntegral = false
+			s.objIntegral = false
 			break
 		}
 	}
-	dominated := func(bound, incumbent float64) bool {
-		if math.IsInf(incumbent, -1) {
-			return false
+
+	workers := opts.Workers
+	prefix := 0 // 0 = unbounded: pure sequential solve
+	if workers > 1 {
+		s.trackPaths = true
+		prefix = opts.MinParallelNodes
+		if prefix <= 0 {
+			prefix = defaultMinParallelNodes
 		}
-		if objIntegral {
-			return math.Floor(bound+intTol) <= incumbent+intTol
+		if prefix >= maxNodes {
+			prefix = 0 // the node limit trips first; never goes parallel
 		}
-		return bound <= incumbent+intTol
 	}
 
-	// Bound vectors are recycled through a freelist: a popped node's
-	// slices are dead once its children are copied, so the steady-state
-	// search allocates no per-node storage.
-	var free [][]float64
-	cloneOf := func(src []float64) []float64 {
-		var dst []float64
-		if k := len(free); k > 0 {
-			dst, free = free[k-1][:len(src)], free[:k-1]
-		} else {
-			dst = make([]float64, len(src))
-		}
-		copy(dst, src)
-		return dst
+	s.rootBound = math.Inf(1)
+	root := node{lower: s.cloneOf(p.lower), upper: s.cloneOf(p.upper), bound: math.Inf(1)}
+	s.stack = append(s.stack, root)
+
+	done, err := s.run(prefix)
+	if err != nil {
+		return Solution{}, err
 	}
-	recycle := func(n node) { free = append(free, n.lower, n.upper) }
-
-	root := node{lower: cloneOf(p.lower), upper: cloneOf(p.upper), bound: math.Inf(1)}
-	stack := []node{root}
-	var bestX []float64 // incumbent, by variable index; nil when none yet
-	bestObj := math.Inf(-1)
-	rootBound := math.Inf(1)
-
-	// openBound is the largest relaxation bound among unexplored nodes —
-	// the current proof of what the optimum cannot exceed.
-	openBound := func() float64 {
-		ub := math.Inf(-1)
-		for _, n := range stack {
-			if n.bound > ub {
-				ub = n.bound
-			}
-		}
-		if !math.IsInf(rootBound, 1) && rootBound < ub {
-			ub = rootBound
-		}
-		return ub
+	if done {
+		mBBWorkers.Set(1)
+		return s.finish(statsBase)
 	}
+	// The prefix budget expired with the tree still open: the instance
+	// has proved itself large enough to be worth a worker pool.
+	return p.solveParallel(s, workers, statsBase)
+}
 
-	for len(stack) > 0 {
-		if nodes >= maxNodes {
-			return Solution{}, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, nodes)
+// search is the sequential branch & bound state: Solve runs it either to
+// completion (Workers <= 1) or as the bounded exact prefix of a parallel
+// solve. All fields are owned by one goroutine.
+type search struct {
+	p        *Problem
+	rel      *relaxation
+	solver   *lp.Solver
+	opts     Options
+	maxNodes int
+
+	objIntegral bool
+	// trackPaths records each node's branch path (see node.path); enabled
+	// only when the solve may hand off to the parallel phase.
+	trackPaths bool
+
+	stack     []node
+	nodes     int
+	bestX     []float64 // incumbent, by variable index; nil when none yet
+	bestObj   float64
+	bestPath  []byte
+	rootBound float64
+
+	nodeArena
+}
+
+// nodeArena recycles node storage through freelists: a popped node's
+// slices are dead once its children are copied, so the steady-state
+// search allocates no per-node storage. The sequential search owns one;
+// each parallel worker owns its own (a stolen node's slices are simply
+// recycled by whichever worker pops it).
+type nodeArena struct {
+	free     [][]float64
+	pathFree [][]byte
+}
+
+func (a *nodeArena) cloneOf(src []float64) []float64 {
+	var dst []float64
+	if k := len(a.free); k > 0 {
+		dst, a.free = a.free[k-1][:len(src)], a.free[:k-1]
+	} else {
+		dst = make([]float64, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
+func (a *nodeArena) recycle(n node) {
+	a.free = append(a.free, n.lower, n.upper)
+	if n.path != nil {
+		a.pathFree = append(a.pathFree, n.path)
+	}
+}
+
+// childPath returns parent's branch path extended by one digit, drawing
+// storage from the path freelist.
+func (a *nodeArena) childPath(parent []byte, digit byte) []byte {
+	var dst []byte
+	if k := len(a.pathFree); k > 0 {
+		dst, a.pathFree = a.pathFree[k-1][:0], a.pathFree[:k-1]
+	}
+	dst = append(dst, parent...)
+	return append(dst, digit)
+}
+
+func (s *search) dominated(bound, incumbent float64) bool {
+	if math.IsInf(incumbent, -1) {
+		return false
+	}
+	if s.objIntegral {
+		return math.Floor(bound+intTol) <= incumbent+intTol
+	}
+	return bound <= incumbent+intTol
+}
+
+// openBound is the largest relaxation bound among unexplored nodes — the
+// current proof of what the optimum cannot exceed.
+func (s *search) openBound() float64 {
+	ub := math.Inf(-1)
+	for _, n := range s.stack {
+		if n.bound > ub {
+			ub = n.bound
 		}
-		nodes++
+	}
+	if !math.IsInf(s.rootBound, 1) && s.rootBound < ub {
+		ub = s.rootBound
+	}
+	return ub
+}
+
+// run executes the sequential depth-first loop. A positive budget bounds
+// how many nodes this call may explore; run returns done=false when the
+// budget expired with the tree still open (the parallel hand-off point).
+// With budget 0 it runs to one of the sequential stop conditions and
+// always reports done.
+func (s *search) run(budget int) (done bool, err error) {
+	for len(s.stack) > 0 {
+		if budget > 0 && s.nodes >= budget {
+			return false, nil
+		}
+		if s.nodes >= s.maxNodes {
+			return false, fmt.Errorf("%w (%d nodes)", ErrNodeLimit, s.nodes)
+		}
+		s.nodes++
 		// Depth-first: take the most recent node.
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if dominated(n.bound, bestObj) {
-			recycle(n)
+		n := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		if s.dominated(n.bound, s.bestObj) {
+			s.recycle(n)
 			continue // parent bound already dominated
 		}
 
-		status, obj, x, err := rel.solve(solver, p, n)
+		status, obj, x, err := s.rel.solve(s.solver, s.p, n, false)
 		if err != nil {
-			return Solution{}, err
+			return false, err
 		}
 		switch status {
 		case lp.Infeasible:
-			recycle(n)
+			s.recycle(n)
 			continue
 		case lp.Unbounded:
 			// An unbounded relaxation at the root means the ILP is
 			// unbounded (with integral data there is an integer ray).
-			return Solution{}, ErrUnbounded
+			return false, ErrUnbounded
 		}
-		if nodes == 1 {
-			rootBound = obj
+		if s.nodes == 1 {
+			s.rootBound = obj
 		}
-		if dominated(obj, bestObj) {
-			recycle(n)
+		if s.dominated(obj, s.bestObj) {
+			s.recycle(n)
 			continue
 		}
 
@@ -408,7 +531,7 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 		branch := -1
 		worst := intTol
 		for j, xj := range x {
-			if !p.integer[j] {
+			if !s.p.integer[j] {
 				continue
 			}
 			frac := math.Abs(xj - math.Round(xj))
@@ -420,18 +543,21 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 		if branch < 0 {
 			// Integral: new incumbent. Keep only the dense vector;
 			// names are attached once, after the search.
-			recycle(n)
-			bestObj = obj
-			bestX = append(bestX[:0], x...)
+			s.bestObj = obj
+			s.bestX = append(s.bestX[:0], x...)
+			if s.trackPaths {
+				s.bestPath = append(s.bestPath[:0], n.path...)
+			}
+			s.recycle(n)
 			// With an integral objective, an incumbent matching the
 			// floored root relaxation bound is provably optimal — stop
 			// without draining the plateau of equal-bound nodes.
-			if objIntegral && bestObj >= math.Floor(rootBound+intTol)-intTol {
-				break
+			if s.objIntegral && s.bestObj >= math.Floor(s.rootBound+intTol)-intTol {
+				return true, nil
 			}
 			// Gap cutoff: good enough per the caller's tolerance.
-			if opts.Gap > 0 && openBound()-bestObj <= opts.Gap {
-				break
+			if s.opts.Gap > 0 && s.openBound()-s.bestObj <= s.opts.Gap {
+				return true, nil
 			}
 			continue
 		}
@@ -441,52 +567,63 @@ func (p *Problem) Solve(opts Options) (Solution, error) {
 		// last): following the LP solution finds a strong incumbent in a
 		// handful of dives even on large symmetric instances.
 		xb := x[branch]
-		up := node{lower: cloneOf(n.lower), upper: cloneOf(n.upper), bound: obj}
+		up := node{lower: s.cloneOf(n.lower), upper: s.cloneOf(n.upper), bound: obj}
 		up.lower[branch] = math.Ceil(xb)
-		down := node{lower: cloneOf(n.lower), upper: cloneOf(n.upper), bound: obj}
+		down := node{lower: s.cloneOf(n.lower), upper: s.cloneOf(n.upper), bound: obj}
 		down.upper[branch] = math.Floor(xb)
-		recycle(n)
 		first, second := down, up // nearest child goes second (popped first)
 		if xb-math.Floor(xb) > 0.5 {
 			first, second = up, down
 		}
+		if s.trackPaths {
+			// The dive-preferred child (popped first) extends the path
+			// with 0, the other with 1, so lexicographic path order is
+			// exactly the order the sequential search visits leaves in.
+			second.path = s.childPath(n.path, 0)
+			first.path = s.childPath(n.path, 1)
+		}
+		s.recycle(n)
 		if first.lower[branch] <= first.upper[branch] {
-			stack = append(stack, first)
+			s.stack = append(s.stack, first)
 		} else {
-			recycle(first)
+			s.recycle(first)
 		}
 		if second.lower[branch] <= second.upper[branch] {
-			stack = append(stack, second)
+			s.stack = append(s.stack, second)
 		} else {
-			recycle(second)
+			s.recycle(second)
 		}
 	}
+	return true, nil
+}
 
-	if bestX == nil {
+// finish assembles the Solution after a purely sequential search.
+func (s *search) finish(statsBase lp.SolveStats) (Solution, error) {
+	if s.bestX == nil {
 		return Solution{}, ErrInfeasible
 	}
-	for j := range bestX {
-		if p.integer[j] {
-			bestX[j] = math.Round(bestX[j])
+	for j := range s.bestX {
+		if s.p.integer[j] {
+			s.bestX[j] = math.Round(s.bestX[j])
 		}
 	}
 	// The name slice is copied: a pooled Problem's names backing is
 	// rewritten in place after Reset, and the Solution must outlive that.
-	names := make([]string, len(p.names))
-	copy(names, p.names)
+	names := make([]string, len(s.p.names))
+	copy(names, s.p.names)
 	best := Solution{
-		Objective:  bestObj,
-		UpperBound: bestObj,
+		Objective:  s.bestObj,
+		UpperBound: s.bestObj,
 		names:      names,
-		xs:         bestX,
-		Nodes:      nodes,
-		WarmStarts: int(solver.Stats().Warm - statsBase.Warm),
+		xs:         s.bestX,
+		Nodes:      s.nodes,
+		WarmStarts: int(s.solver.Stats().Warm - statsBase.Warm),
 	}
-	if len(stack) > 0 {
-		if ub := openBound(); ub > bestObj {
+	if len(s.stack) > 0 {
+		if ub := s.openBound(); ub > s.bestObj {
 			best.UpperBound = ub
 		}
-		if objIntegral {
+		if s.objIntegral {
 			best.UpperBound = math.Floor(best.UpperBound + intTol)
 		}
 	}
@@ -512,7 +649,17 @@ type relaxation struct {
 // contribution folded into the RHS. Returns ErrInfeasible when a constant
 // row is violated.
 func (p *Problem) buildRelaxation() (*relaxation, error) {
-	rel := &p.rel
+	if err := p.buildRelaxationInto(&p.rel); err != nil {
+		return nil, err
+	}
+	return &p.rel, nil
+}
+
+// buildRelaxationInto builds the relaxation into rel. The parallel phase
+// gives every worker its own relaxation (each node solve rewrites the LP's
+// bounds in place, so a shared one would race); it only reads the
+// Problem, so concurrent builds over the same Problem are safe.
+func (p *Problem) buildRelaxationInto(rel *relaxation) error {
 	if rel.rp == nil {
 		rel.rp = lp.NewProblem()
 	} else {
@@ -552,27 +699,37 @@ func (p *Problem) buildRelaxation() (*relaxation, error) {
 				ok = math.Abs(rhs) <= feasTol
 			}
 			if !ok {
-				return nil, ErrInfeasible
+				return ErrInfeasible
 			}
 			continue
 		}
 		rel.rp.AddConstraint(terms, c.sense, rhs)
 	}
-	return rel, nil
+	return nil
 }
 
 // solve evaluates one node's relaxation: move the LP bounds to the node's
-// and re-solve (warm-started by the Solver whenever the tableau layout is
-// unchanged). The returned x is rel's scratch vector, valid until the
-// next call; the objective is recomputed over the full vector in variable
-// order so presolve does not perturb bound values.
-func (rel *relaxation) solve(s *lp.Solver, p *Problem, n node) (lp.Status, float64, []float64, error) {
+// and re-solve. Sequential callers pass cold=false and get the Solver's
+// warm-start path whenever the tableau layout is unchanged; the parallel
+// phase passes cold=true so the returned vertex is a pure function of the
+// node's bounds, independent of what the worker solved before (the
+// foundation of its determinism contract — see parallel.go). The returned
+// x is rel's scratch vector, valid until the next call; the objective is
+// recomputed over the full vector in variable order so presolve does not
+// perturb bound values.
+func (rel *relaxation) solve(s *lp.Solver, p *Problem, n node, cold bool) (lp.Status, float64, []float64, error) {
 	for j, li := range rel.lpIdx {
 		if li >= 0 {
 			rel.rp.SetBounds(li, n.lower[j], n.upper[j])
 		}
 	}
-	sol, err := s.Solve(rel.rp)
+	var sol lp.Solution
+	var err error
+	if cold {
+		sol, err = s.SolveCold(rel.rp)
+	} else {
+		sol, err = s.Solve(rel.rp)
+	}
 	if err != nil {
 		return 0, 0, nil, err
 	}

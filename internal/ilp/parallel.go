@@ -1,0 +1,505 @@
+// Parallel branch & bound: the second phase of a Workers>1 Solve, entered
+// only when the exact sequential prefix (see search.run) expired with the
+// tree still open. The open frontier is fanned out across a pool of
+// workers, each owning its own lp.Solver tableau arena, its own copy of
+// the LP relaxation (node solves rewrite the LP's bounds in place), and
+// its own node freelists. Work is distributed by work stealing: a worker
+// pushes children onto its local queue and takes from it LIFO (keeping
+// its dive locality), and an idle worker steals the oldest — largest —
+// queued subtree from a victim.
+//
+// # Determinism contract
+//
+// The phase is designed so the Solution does not depend on how the OS
+// schedules the workers:
+//
+//   - Every node relaxation is solved cold (lp.Solver.SolveCold), making
+//     each node's LP vertex a pure function of the node's bounds. Warm
+//     starts would make vertices depend on what the worker solved before
+//     — on degenerate plateaus, a schedule-dependent choice among
+//     equal-objective vertices.
+//   - The shared incumbent is a lattice join, not a first-writer-wins
+//     race: a candidate replaces the incumbent if its objective is
+//     higher, or equal with a lexicographically smaller branch path.
+//     Joins commute, so the final incumbent of a completed search is the
+//     same whatever order candidates arrive in.
+//   - Pruning is lexicographically guarded: a node whose bound ties the
+//     incumbent is pruned only if its subtree provably cannot contain an
+//     equal-objective leaf on a smaller branch path.
+//
+// A completed search (Gap == 0, no node limit) therefore returns the
+// unique optimal leaf with the lexicographically smallest branch path —
+// the same vector at Workers=8 as at Workers=2. A gap cutoff is an
+// anytime stop: Status, UpperBound (floor(rootBound) for integral
+// objectives) and hence every wire byte derived from the bound remain
+// schedule-independent, but which gap-qualifying incumbent is reported is
+// not guaranteed reproducible across runs.
+package ilp
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lp"
+	"repro/internal/telemetry"
+)
+
+var (
+	mBBWorkers = telemetry.Default().Gauge("solver_bb_workers",
+		"Branch & bound workers used by the most recent ILP solve (1 = sequential).")
+	mBBSteals = telemetry.Default().Counter("solver_bb_steals_total",
+		"Branch & bound nodes taken from another worker's queue (work stealing).")
+)
+
+// solveParallel runs phase two over the prefix's open frontier and
+// assembles the final Solution. s still holds the prefix's incumbent,
+// root bound, node count, and open stack.
+func (p *Problem) solveParallel(s *search, workers int, statsBase lp.SolveStats) (Solution, error) {
+	mBBWorkers.Set(int64(workers))
+	ps := &parSearch{
+		p:           p,
+		objIntegral: s.objIntegral,
+		gap:         s.opts.Gap,
+		rootBound:   s.rootBound,
+		maxNodes:    int64(s.maxNodes),
+		bestObj:     math.Inf(-1),
+	}
+	ps.cond = sync.NewCond(&ps.qmu)
+	ps.bestBits.Store(math.Float64bits(math.Inf(-1)))
+	if s.bestX != nil {
+		ps.bestObj = s.bestObj
+		ps.bestX = append([]float64(nil), s.bestX...)
+		ps.bestPath = append([]byte(nil), s.bestPath...)
+		ps.bestBits.Store(math.Float64bits(s.bestObj))
+	}
+	ps.nodes.Store(int64(s.nodes))
+	// Seed the injector with the prefix's open frontier in stack order:
+	// workers pop from the tail, so the dive frontier is taken first.
+	ps.global = append(ps.global, s.stack...)
+	s.stack = s.stack[:0]
+	ps.pending.Store(int64(len(ps.global)))
+
+	ps.workers = make([]*bbWorker, workers)
+	for i := range ps.workers {
+		w := &bbWorker{}
+		if err := p.buildRelaxationInto(&w.rel); err != nil {
+			// The root build just succeeded over the same immutable
+			// problem, so this cannot fail; fail closed regardless.
+			return Solution{}, err
+		}
+		ps.workers[i] = w
+	}
+	var wg sync.WaitGroup
+	for i := range ps.workers {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			ps.runWorker(wi)
+		}(i)
+	}
+	wg.Wait()
+
+	// Single-goroutine again: flush the workers' solver deltas into the
+	// process counters (the Solve-level defer only covers the prefix
+	// solver) and fold the totals back into the search state.
+	var warm int64
+	for _, w := range ps.workers {
+		mWarmStarts.Add(w.stats.Warm)
+		mWarmFallbacks.Add(w.stats.WarmFallbacks)
+		mColdSolves.Add(w.stats.Cold)
+		mPivots.Add(w.stats.Pivots)
+		warm += w.stats.Warm
+	}
+	mBBSteals.Add(ps.steals.Load())
+	s.nodes = int(ps.nodes.Load())
+
+	if ps.err != nil {
+		return Solution{}, ps.err
+	}
+	if ps.bestX == nil {
+		return Solution{}, ErrInfeasible
+	}
+	for j := range ps.bestX {
+		if p.integer[j] {
+			ps.bestX[j] = math.Round(ps.bestX[j])
+		}
+	}
+	names := make([]string, len(p.names))
+	copy(names, p.names)
+	best := Solution{
+		Objective:  ps.bestObj,
+		UpperBound: ps.bestObj,
+		names:      names,
+		xs:         ps.bestX,
+		Nodes:      s.nodes,
+		WarmStarts: int(s.solver.Stats().Warm-statsBase.Warm) + int(warm),
+	}
+	if ps.gapStopped.Load() {
+		// Abandoned open nodes are all bounded by the root relaxation, so
+		// the root bound is the (schedule-independent) proof we report.
+		if ps.rootBound > best.UpperBound {
+			best.UpperBound = ps.rootBound
+		}
+		if ps.objIntegral {
+			best.UpperBound = math.Floor(best.UpperBound + intTol)
+		}
+	}
+	return best, nil
+}
+
+// parSearch is the shared state of a parallel phase.
+type parSearch struct {
+	p           *Problem
+	objIntegral bool
+	gap         float64
+	rootBound   float64
+	maxNodes    int64
+
+	nodes  atomic.Int64 // explored, prefix included
+	steals atomic.Int64
+
+	// The incumbent. bestBits mirrors the highest objective ever accepted
+	// (as math.Float64bits) for lock-free bound pruning; the full
+	// (obj, x, path) triple is joined under incMu.
+	incMu    sync.Mutex
+	bestObj  float64
+	bestX    []float64
+	bestPath []byte
+	bestBits atomic.Uint64
+
+	stopped    atomic.Bool
+	gapStopped atomic.Bool
+	errMu      sync.Mutex
+	err        error // first failure; read without errMu only after workers join
+
+	// Work distribution: a global injector seeded with the prefix
+	// frontier, per-worker local queues, and a parked-worker count.
+	// pending counts nodes that are queued or in flight — zero means the
+	// tree is drained. Lock order: qmu before any bbWorker.mu.
+	qmu     sync.Mutex
+	cond    *sync.Cond
+	global  []node
+	idle    atomic.Int32
+	pending atomic.Int64
+	workers []*bbWorker
+}
+
+// bbWorker is one worker's private state plus its stealable queue.
+type bbWorker struct {
+	mu    sync.Mutex
+	local []node
+
+	rel   relaxation
+	stats lp.SolveStats // solver deltas, published after the worker exits
+	nodeArena
+}
+
+func (ps *parSearch) runWorker(wi int) {
+	w := ps.workers[wi]
+	solver := solverPool.Get().(*lp.Solver)
+	mPoolGets.Inc()
+	base := solver.Stats()
+	defer func() {
+		d := solver.Stats()
+		w.stats = lp.SolveStats{
+			Warm:          d.Warm - base.Warm,
+			WarmFallbacks: d.WarmFallbacks - base.WarmFallbacks,
+			Cold:          d.Cold - base.Cold,
+			Pivots:        d.Pivots - base.Pivots,
+		}
+		solverPool.Put(solver)
+	}()
+	for {
+		n, ok := ps.next(wi)
+		if !ok {
+			return
+		}
+		ps.process(w, solver, n)
+		if ps.pending.Add(-1) == 0 {
+			ps.wake() // tree drained: release parked workers
+		}
+	}
+}
+
+// next returns the worker's next node, or ok=false when the search is
+// over (drained, stopped, or failed).
+func (ps *parSearch) next(wi int) (node, bool) {
+	w := ps.workers[wi]
+	for {
+		if ps.stopped.Load() {
+			return node{}, false
+		}
+		// Own queue first, newest node: depth-first within a worker.
+		w.mu.Lock()
+		if k := len(w.local); k > 0 {
+			n := w.local[k-1]
+			w.local = w.local[:k-1]
+			w.mu.Unlock()
+			return n, true
+		}
+		w.mu.Unlock()
+		ps.qmu.Lock()
+		if n, ok := ps.takeSharedLocked(wi); ok {
+			ps.qmu.Unlock()
+			return n, true
+		}
+		if ps.pending.Load() == 0 {
+			ps.qmu.Unlock()
+			return node{}, false
+		}
+		// Nothing visible but work is still in flight: park. A producer
+		// raises pending and publishes children before it reads idle, so
+		// either the re-scan under qmu sees the new nodes or the
+		// producer sees this worker parked and broadcasts.
+		ps.idle.Add(1)
+		for {
+			if ps.stopped.Load() || ps.pending.Load() == 0 {
+				break
+			}
+			if n, ok := ps.takeSharedLocked(wi); ok {
+				ps.idle.Add(-1)
+				ps.qmu.Unlock()
+				return n, true
+			}
+			ps.cond.Wait()
+		}
+		ps.idle.Add(-1)
+		ps.qmu.Unlock()
+	}
+}
+
+// takeSharedLocked pops the injector or steals from a victim; the caller
+// holds qmu.
+func (ps *parSearch) takeSharedLocked(wi int) (node, bool) {
+	if k := len(ps.global); k > 0 {
+		n := ps.global[k-1]
+		ps.global = ps.global[:k-1]
+		return n, true
+	}
+	// Steal the OLDEST node from another worker — the one closest to the
+	// root, i.e. the largest unexplored subtree, which keeps stolen work
+	// coarse and steal frequency low.
+	for i := 1; i < len(ps.workers); i++ {
+		v := ps.workers[(wi+i)%len(ps.workers)]
+		v.mu.Lock()
+		if k := len(v.local); k > 0 {
+			n := v.local[0]
+			copy(v.local, v.local[1:])
+			v.local = v.local[:k-1]
+			v.mu.Unlock()
+			ps.steals.Add(1)
+			return n, true
+		}
+		v.mu.Unlock()
+	}
+	return node{}, false
+}
+
+func (ps *parSearch) wake() {
+	ps.qmu.Lock()
+	ps.cond.Broadcast()
+	ps.qmu.Unlock()
+}
+
+func (ps *parSearch) fail(err error) {
+	ps.errMu.Lock()
+	if ps.err == nil {
+		ps.err = err
+	}
+	ps.errMu.Unlock()
+	ps.stopped.Store(true)
+	ps.wake()
+}
+
+func (ps *parSearch) gapStop() {
+	ps.gapStopped.Store(true)
+	ps.stopped.Store(true)
+	ps.wake()
+}
+
+// process explores one node: prune, solve its relaxation cold, then
+// either join an integral incumbent or push its two children.
+func (ps *parSearch) process(w *bbWorker, solver *lp.Solver, n node) {
+	if ps.stopped.Load() {
+		return
+	}
+	total := ps.nodes.Add(1)
+	if total > ps.maxNodes {
+		ps.nodes.Add(-1)
+		ps.fail(fmt.Errorf("%w (%d nodes)", ErrNodeLimit, ps.maxNodes))
+		return
+	}
+	if ps.pruned(n.bound, n.path) {
+		w.recycle(n)
+		return
+	}
+	status, obj, x, err := w.rel.solve(solver, ps.p, n, true)
+	if err != nil {
+		ps.fail(err)
+		return
+	}
+	switch status {
+	case lp.Infeasible:
+		w.recycle(n)
+		return
+	case lp.Unbounded:
+		// Bounds only tighten below the root, whose relaxation was
+		// bounded; unreachable, but fail closed.
+		ps.fail(ErrUnbounded)
+		return
+	}
+	if ps.pruned(obj, n.path) {
+		w.recycle(n)
+		return
+	}
+
+	// Most fractional variable, as in the sequential search.
+	branch := -1
+	worst := intTol
+	for j, xj := range x {
+		if !ps.p.integer[j] {
+			continue
+		}
+		frac := math.Abs(xj - math.Round(xj))
+		if frac > worst {
+			worst = frac
+			branch = j
+		}
+	}
+	if branch < 0 {
+		ps.offer(obj, x, n.path)
+		w.recycle(n)
+		return
+	}
+
+	xb := x[branch]
+	up := node{lower: w.cloneOf(n.lower), upper: w.cloneOf(n.upper), bound: obj}
+	up.lower[branch] = math.Ceil(xb)
+	down := node{lower: w.cloneOf(n.lower), upper: w.cloneOf(n.upper), bound: obj}
+	down.upper[branch] = math.Floor(xb)
+	first, second := down, up // nearest child goes second (popped first)
+	if xb-math.Floor(xb) > 0.5 {
+		first, second = up, down
+	}
+	second.path = w.childPath(n.path, 0)
+	first.path = w.childPath(n.path, 1)
+	w.recycle(n)
+	var push [2]node
+	k := 0
+	if first.lower[branch] <= first.upper[branch] {
+		push[k] = first
+		k++
+	} else {
+		w.recycle(first)
+	}
+	if second.lower[branch] <= second.upper[branch] {
+		push[k] = second
+		k++
+	} else {
+		w.recycle(second)
+	}
+	if k == 0 {
+		return
+	}
+	// Raise pending before the nodes become stealable, so a thief
+	// finishing one cannot drive pending to zero while its sibling or
+	// parent is still live.
+	ps.pending.Add(int64(k))
+	w.mu.Lock()
+	w.local = append(w.local, push[:k]...)
+	w.mu.Unlock()
+	if ps.idle.Load() > 0 {
+		ps.wake()
+	}
+}
+
+// pruned decides whether a node with the given relaxation bound (or
+// parent bound) and branch path can be discarded.
+func (ps *parSearch) pruned(bound float64, path []byte) bool {
+	best := math.Float64frombits(ps.bestBits.Load())
+	if math.IsInf(best, -1) {
+		return false
+	}
+	b := bound
+	if ps.objIntegral {
+		b = math.Floor(bound + intTol)
+	}
+	if b > best+intTol {
+		return false // can strictly improve
+	}
+	if b < best-intTol {
+		return true // strictly dominated
+	}
+	// Tied with the incumbent: the subtree still matters only if it can
+	// hold an equal-objective leaf on a lexicographically smaller branch
+	// path — the deterministic tie-break winner.
+	ps.incMu.Lock()
+	defer ps.incMu.Unlock()
+	if ps.bestX == nil {
+		return false
+	}
+	return !lexBelowPrefix(path, ps.bestPath)
+}
+
+// offer joins an integral candidate into the shared incumbent: higher
+// objective wins; an equal objective wins only on a lexicographically
+// smaller branch path. Joins commute, so arrival order cannot change the
+// final incumbent of a completed search.
+func (ps *parSearch) offer(obj float64, x []float64, path []byte) {
+	ps.incMu.Lock()
+	replace := false
+	if ps.bestX == nil || obj > ps.bestObj+intTol {
+		replace = true
+	} else if obj >= ps.bestObj-intTol && bytes.Compare(path, ps.bestPath) < 0 {
+		replace = true
+	}
+	if replace {
+		ps.bestObj = obj
+		ps.bestX = append(ps.bestX[:0], x...)
+		ps.bestPath = append(ps.bestPath[:0], path...)
+		// bestBits only ratchets upward: pruning keeps the strongest
+		// objective ever seen even when the tie-break retains a
+		// within-tolerance lower one.
+		for {
+			old := ps.bestBits.Load()
+			if math.Float64frombits(old) >= obj {
+				break
+			}
+			if ps.bestBits.CompareAndSwap(old, math.Float64bits(obj)) {
+				break
+			}
+		}
+	}
+	stop := ps.gap > 0 && ps.bestX != nil && ps.rootBound-ps.bestObj <= ps.gap
+	ps.incMu.Unlock()
+	if stop {
+		ps.gapStop()
+	}
+}
+
+// lexBelowPrefix reports whether some leaf extending the branch path
+// prefix could be lexicographically smaller than the given leaf path.
+// Returning true (explore) is always sound; false must be certain.
+func lexBelowPrefix(prefix, leaf []byte) bool {
+	m := len(prefix)
+	if len(leaf) < m {
+		m = len(leaf)
+	}
+	for i := 0; i < m; i++ {
+		if prefix[i] < leaf[i] {
+			return true // every leaf under prefix is smaller
+		}
+		if prefix[i] > leaf[i] {
+			return false // every leaf under prefix is larger
+		}
+	}
+	// prefix matches leaf on the shared length. Shorter prefix: its
+	// subtree contains leaf's lex-predecessor region. Equal or longer:
+	// in a canonical tree a leaf cannot prefix another node's path, so
+	// this is the incumbent node itself (or unreachable) — no
+	// improvement possible.
+	return len(prefix) < len(leaf)
+}

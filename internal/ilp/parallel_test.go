@@ -1,0 +1,344 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// bruteForceOpt enumerates every integer point of a box and returns the
+// best feasible objective together with how many points attain it (the
+// determinism tests need to know whether the optimum is unique before
+// they may assert full-vector equality across worker counts).
+func bruteForceOpt(obj []float64, hi []int, cons []bfConstraint) (best float64, count int) {
+	n := len(obj)
+	point := make([]int, n)
+	best = math.Inf(-1)
+	var walk func(i int)
+	walk = func(i int) {
+		if i == n {
+			for _, c := range cons {
+				var lhs float64
+				for j, x := range point {
+					lhs += c.coeffs[j] * float64(x)
+				}
+				switch c.sense {
+				case LE:
+					if lhs > c.rhs+1e-9 {
+						return
+					}
+				case GE:
+					if lhs < c.rhs-1e-9 {
+						return
+					}
+				case EQ:
+					if math.Abs(lhs-c.rhs) > 1e-9 {
+						return
+					}
+				}
+			}
+			var v float64
+			for j, x := range point {
+				v += obj[j] * float64(x)
+			}
+			switch {
+			case v > best+1e-9:
+				best, count = v, 1
+			case v > best-1e-9:
+				count++
+			}
+			return
+		}
+		for x := 0; x <= hi[i]; x++ {
+			point[i] = x
+			walk(i + 1)
+		}
+	}
+	walk(0)
+	return best, count
+}
+
+// solveAt runs one fuzz instance at the given worker count. A fresh
+// Problem is built per call: Solve mutates the relaxation in place, so
+// sharing one Problem across runs would be a use the API does not promise.
+func solveAt(obj []float64, hi []int, cons []bfConstraint, o Options) (Solution, []float64, error) {
+	p := New()
+	n := len(obj)
+	vars := make([]Var, n)
+	for j := 0; j < n; j++ {
+		vars[j] = p.AddInt(string(rune('a'+j)), 0, float64(hi[j]))
+		p.SetObjective(vars[j], obj[j])
+	}
+	for _, c := range cons {
+		terms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			terms[j] = Term{vars[j], c.coeffs[j]}
+		}
+		p.Add(terms, c.sense, c.rhs)
+	}
+	sol, err := p.Solve(o)
+	if err != nil {
+		return Solution{}, nil, err
+	}
+	xs := make([]float64, n)
+	for j, v := range vars {
+		xs[j] = sol.ValueOf(v)
+	}
+	return sol, xs, nil
+}
+
+// TestParallelMatchesSequentialFuzz is the determinism property test of
+// the parallel branch & bound: on ~100 random instances, Workers=1,
+// Workers=2, and Workers=8 must agree on status, objective, and upper
+// bound; when brute force proves the optimum unique they must return the
+// identical solution vector; and the two parallel runs must return
+// identical vectors even on ties (the lexicographic tie-break makes the
+// completed parallel search schedule-independent). MinParallelNodes=1
+// forces the parallel phase to actually run instead of every small tree
+// closing inside the sequential prefix.
+func TestParallelMatchesSequentialFuzz(t *testing.T) {
+	rnd := uint32(0xD15EED)
+	next := func(mod uint32) int {
+		rnd = rnd*1664525 + 1013904223
+		return int(rnd % mod)
+	}
+	configs := []Options{
+		{},
+		{Workers: 2, MinParallelNodes: 1},
+		{Workers: 8, MinParallelNodes: 1},
+	}
+	feasible, unique := 0, 0
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + next(3) // 2-4 vars
+		hi := make([]int, n)
+		obj := make([]float64, n)
+		for j := 0; j < n; j++ {
+			hi[j] = 2 + next(4)
+			obj[j] = float64(next(7)) - 2
+		}
+		nCons := 1 + next(3)
+		var cons []bfConstraint
+		for k := 0; k < nCons; k++ {
+			c := bfConstraint{coeffs: make([]float64, n)}
+			for j := 0; j < n; j++ {
+				c.coeffs[j] = float64(next(5)) - 1
+			}
+			switch next(3) {
+			case 0:
+				c.sense = LE
+				c.rhs = float64(next(15))
+			case 1:
+				c.sense = GE
+				c.rhs = float64(next(6))
+			default:
+				c.sense = EQ
+				c.rhs = float64(next(8))
+			}
+			cons = append(cons, c)
+		}
+
+		want, optima := bruteForceOpt(obj, hi, cons)
+
+		sols := make([]Solution, len(configs))
+		vecs := make([][]float64, len(configs))
+		errs := make([]error, len(configs))
+		for i, o := range configs {
+			sols[i], vecs[i], errs[i] = solveAt(obj, hi, cons, o)
+		}
+
+		if math.IsInf(want, -1) {
+			for i := range configs {
+				if !errors.Is(errs[i], ErrInfeasible) {
+					t.Fatalf("trial %d workers=%d: want ErrInfeasible, got %v",
+						trial, configs[i].Workers, errs[i])
+				}
+			}
+			continue
+		}
+		feasible++
+		for i := range configs {
+			if errs[i] != nil {
+				t.Fatalf("trial %d workers=%d: unexpected error %v", trial, configs[i].Workers, errs[i])
+			}
+			if math.Abs(sols[i].Objective-want) > 1e-6 {
+				t.Fatalf("trial %d workers=%d: objective %g, brute force %g\nobj=%v hi=%v cons=%+v",
+					trial, configs[i].Workers, sols[i].Objective, want, obj, hi, cons)
+			}
+			if math.Abs(sols[i].UpperBound-sols[0].UpperBound) > 1e-6 {
+				t.Fatalf("trial %d workers=%d: upper bound %g, sequential %g",
+					trial, configs[i].Workers, sols[i].UpperBound, sols[0].UpperBound)
+			}
+		}
+		// Workers=2 and Workers=8 completed the same lexicographic
+		// search: vectors must match exactly, ties or not.
+		for j := range vecs[1] {
+			if vecs[1][j] != vecs[2][j] {
+				t.Fatalf("trial %d: workers=2 and workers=8 vectors differ at %d: %v vs %v\nobj=%v hi=%v cons=%+v",
+					trial, j, vecs[1], vecs[2], obj, hi, cons)
+			}
+		}
+		if optima == 1 {
+			unique++
+			// A unique optimum pins the vector for every worker count.
+			for i := 1; i < len(configs); i++ {
+				for j := range vecs[i] {
+					if vecs[0][j] != vecs[i][j] {
+						t.Fatalf("trial %d workers=%d: unique optimum but vector differs at %d: %v vs %v",
+							trial, configs[i].Workers, j, vecs[0], vecs[i])
+					}
+				}
+			}
+		}
+	}
+	if feasible < 30 || unique < 10 {
+		t.Fatalf("generator drift: only %d feasible / %d unique-optimum trials", feasible, unique)
+	}
+}
+
+// plateauProblem builds a deliberately symmetric instance — maximize
+// sum(x) under sum(2x) <= 2k+1 — whose optimum k is attained by many
+// vectors, so the search tree is a plateau far wider than any sequential
+// prefix. It is the worst case for schedule-dependent tie-breaking.
+func plateauProblem(n, k int) (*Problem, []Var) {
+	p := New()
+	vars := make([]Var, n)
+	terms := make([]Term, n)
+	for j := range vars {
+		vars[j] = p.AddInt(string(rune('a'+j)), 0, float64(k))
+		p.SetObjective(vars[j], 1)
+		terms[j] = Term{vars[j], 2}
+	}
+	p.Add(terms, LE, float64(2*k+1))
+	return p, vars
+}
+
+// TestParallelPlateauDeterministic forces the parallel phase onto a wide
+// equal-objective plateau and asserts run-to-run and cross-worker-count
+// determinism of the complete (Gap=0) search: identical objective, upper
+// bound, and solution vector for Workers=2, 4, 8, across repeated runs.
+func TestParallelPlateauDeterministic(t *testing.T) {
+	const n, k = 6, 7
+	solve := func(o Options) (Solution, []float64) {
+		p, vars := plateauProblem(n, k)
+		sol, err := p.Solve(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", o.Workers, err)
+		}
+		xs := make([]float64, len(vars))
+		for j, v := range vars {
+			xs[j] = sol.ValueOf(v)
+		}
+		return sol, xs
+	}
+
+	seq, _ := solve(Options{})
+	if seq.Objective != float64(k) {
+		t.Fatalf("sequential objective %g, want %d", seq.Objective, k)
+	}
+	var ref []float64
+	for run := 0; run < 3; run++ {
+		for _, workers := range []int{2, 4, 8} {
+			sol, xs := solve(Options{Workers: workers, MinParallelNodes: 1})
+			if sol.Objective != seq.Objective || sol.UpperBound != seq.UpperBound {
+				t.Fatalf("workers=%d run %d: obj/ub %g/%g, sequential %g/%g",
+					workers, run, sol.Objective, sol.UpperBound, seq.Objective, seq.UpperBound)
+			}
+			if ref == nil {
+				ref = xs
+				continue
+			}
+			for j := range xs {
+				if xs[j] != ref[j] {
+					t.Fatalf("workers=%d run %d: vector differs at %d: %v vs %v", workers, run, j, xs, ref)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelGapUpperBound: a gap-stopped parallel search is an anytime
+// stop, but its proved bound must stay sound and schedule-independent —
+// floor(rootBound) for integral objectives, the same value the sequential
+// search reports when its open frontier still touches the root bound.
+func TestParallelGapUpperBound(t *testing.T) {
+	const n, k = 6, 7
+	for _, workers := range []int{1, 2, 8} {
+		p, _ := plateauProblem(n, k)
+		sol, err := p.Solve(Options{Gap: 1, Workers: workers, MinParallelNodes: 1})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if sol.Objective != float64(k) {
+			t.Fatalf("workers=%d: objective %g, want %d", workers, sol.Objective, k)
+		}
+		// Root LP bound is k+0.5; the floored proof is exactly k.
+		if sol.UpperBound != float64(k) {
+			t.Fatalf("workers=%d: upper bound %g, want %d", workers, sol.UpperBound, k)
+		}
+	}
+}
+
+// TestParallelSmallTreePrefixIdentity: with the default heuristic a small
+// tree closes inside the sequential prefix, so Workers=8 must reproduce
+// the Workers=1 result bit for bit — including the incumbent vector, even
+// though the instance has equal-objective ties the two search modes could
+// otherwise resolve differently.
+func TestParallelSmallTreePrefixIdentity(t *testing.T) {
+	build := func() (*Problem, []Var) {
+		p := New()
+		x := p.AddInt("x", 0, 3)
+		y := p.AddInt("y", 0, 3)
+		z := p.AddInt("z", 0, 3)
+		for _, v := range []Var{x, y, z} {
+			p.SetObjective(v, 1)
+		}
+		p.Add([]Term{{x, 2}, {y, 2}, {z, 2}}, LE, 7)
+		return p, []Var{x, y, z}
+	}
+	p1, vars1 := build()
+	s1, err := p1.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p8, vars8 := build()
+	s8, err := p8.Solve(Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Objective != s8.Objective || s1.UpperBound != s8.UpperBound || s1.Nodes != s8.Nodes {
+		t.Fatalf("prefix identity broken: obj/ub/nodes %g/%g/%d vs %g/%g/%d",
+			s1.Objective, s1.UpperBound, s1.Nodes, s8.Objective, s8.UpperBound, s8.Nodes)
+	}
+	for j := range vars1 {
+		if s1.ValueOf(vars1[j]) != s8.ValueOf(vars8[j]) {
+			t.Fatalf("prefix identity broken at var %d: %g vs %g",
+				j, s1.ValueOf(vars1[j]), s8.ValueOf(vars8[j]))
+		}
+	}
+}
+
+// TestParallelErrors: failure modes must be worker-count independent.
+func TestParallelErrors(t *testing.T) {
+	// Infeasible: x >= 5 with x <= 3.
+	p := New()
+	x := p.AddInt("x", 0, 3)
+	p.SetObjective(x, 1)
+	p.Add([]Term{{x, 1}}, GE, 5)
+	if _, err := p.Solve(Options{Workers: 8, MinParallelNodes: 1}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+
+	// Node limit: the plateau cannot close in 4 nodes.
+	p2, _ := plateauProblem(6, 7)
+	if _, err := p2.Solve(Options{Workers: 8, MinParallelNodes: 1, MaxNodes: 4}); !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("want ErrNodeLimit, got %v", err)
+	}
+
+	// Unbounded at the root is caught in the prefix regardless of workers.
+	p3 := New()
+	y := p3.AddInt("y", 0, Inf)
+	p3.SetObjective(y, 1)
+	if _, err := p3.Solve(Options{Workers: 8, MinParallelNodes: 1}); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("want ErrUnbounded, got %v", err)
+	}
+}

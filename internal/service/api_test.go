@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -190,7 +191,7 @@ func TestCanonicalKey(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newResultCache(2, nil, nil, nil)
+	c := newResultCache(2, nil, nil, nil, nil)
 	mk := func(s string) *cached { return &cached{body: []byte(s)} }
 	c.put("a", mk("a"))
 	c.put("b", mk("b"))
@@ -210,7 +211,105 @@ func TestLRUEviction(t *testing.T) {
 	if got := c.len(); got != 2 {
 		t.Errorf("len = %d, want 2", got)
 	}
-	if got := c.evictions.Value(); got != 1 {
+	if got := c.shards[0].evictions.Value(); got != 1 {
 		t.Errorf("evictions = %d, want 1", got)
+	}
+}
+
+// TestCacheZeroCapacity is the regression test for the cap<=0 put bug:
+// the old LRU inserted the entry and then self-evicted it in the
+// trim loop, counting a bogus eviction on every put. A non-positive
+// capacity now means "cache disabled": puts are no-ops, lookups miss,
+// and the eviction counter never moves.
+func TestCacheZeroCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -5} {
+		c := newResultCache(capacity, nil, nil, nil, nil)
+		c.put("a", &cached{body: []byte("a")})
+		if _, ok := c.get("a"); ok {
+			t.Errorf("cap=%d: disabled cache returned a hit", capacity)
+		}
+		if got := c.len(); got != 0 {
+			t.Errorf("cap=%d: len = %d, want 0", capacity, got)
+		}
+		if got := c.shards[0].evictions.Value(); got != 0 {
+			t.Errorf("cap=%d: evictions = %d, want 0 (self-eviction regression)", capacity, got)
+		}
+	}
+}
+
+// TestCacheProbeNoRecencyChurn pins the probe-then-reject fix: a
+// pre-admission probe (getHit) that misses must not mutate the cache at
+// all — under the old LRU every probe took the global lock and a hit
+// spliced the recency list even when admission then rejected the
+// request. Here the same eviction victim must emerge whether or not a
+// storm of missing-key probes ran in between, and a probe that hits
+// must still earn the entry its second chance.
+func TestCacheProbeNoRecencyChurn(t *testing.T) {
+	c := newResultCache(2, nil, nil, nil, nil)
+	mk := func(s string) *cached { return &cached{body: []byte(s)} }
+	c.put("a", mk("a"))
+	c.put("b", mk("b"))
+	c.getHit("a") // a is referenced; b is the eviction victim
+
+	// Probe-then-reject storm: none of these keys are resident, so none
+	// of these probes may touch recency state or the miss counter.
+	for i := 0; i < 100; i++ {
+		if _, ok := c.getHit(fmt.Sprintf("absent-%d", i)); ok {
+			t.Fatal("absent key reported resident")
+		}
+	}
+	if got := c.shards[0].misses.Value(); got != 0 {
+		t.Errorf("misses = %d after getHit probes, want 0", got)
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("len = %d after probes, want 2", got)
+	}
+
+	// The recency order established before the storm must still hold:
+	// the sweep evicts unreferenced b, not referenced a.
+	c.put("c", mk("c"))
+	if _, ok := c.peek("a"); !ok {
+		t.Error("a evicted — probe storm perturbed recency order")
+	}
+	if _, ok := c.peek("b"); ok {
+		t.Error("b survived — probe storm perturbed recency order")
+	}
+}
+
+// TestCacheSharding exercises the multi-shard configuration end to end:
+// a capacity large enough to split 16 ways must still account hits,
+// misses, evictions and len globally, and keys must spread across more
+// than one shard.
+func TestCacheSharding(t *testing.T) {
+	c := newResultCache(1024, nil, nil, nil, nil)
+	if len(c.shards) != maxCacheShards {
+		t.Fatalf("shards = %d, want %d", len(c.shards), maxCacheShards)
+	}
+	total := 0
+	for i := range c.shards {
+		total += c.shards[i].cap
+	}
+	if total != 1024 {
+		t.Errorf("summed shard capacity = %d, want 1024", total)
+	}
+	touched := map[*cacheShard]bool{}
+	for i := 0; i < 256; i++ {
+		key := hashKey(fmt.Sprintf("req-%d", i))
+		touched[c.shard(key)] = true
+		c.put(key, &cached{body: []byte(key)})
+	}
+	if len(touched) < 2 {
+		t.Errorf("256 hashed keys landed on %d shard(s); prefix routing is not spreading", len(touched))
+	}
+	if got := c.len(); got != 256 {
+		t.Errorf("len = %d, want 256", got)
+	}
+	for i := 0; i < 256; i++ {
+		if _, ok := c.get(hashKey(fmt.Sprintf("req-%d", i))); !ok {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	if got := c.shards[0].hits.Value(); got != 256 {
+		t.Errorf("hits = %d, want 256", got)
 	}
 }

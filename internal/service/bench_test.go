@@ -13,7 +13,7 @@ import (
 // BenchmarkCacheHit measures the canonical-request cache's hot path: an
 // already-seen request resolved key-to-response. This is the acceptance
 // bar for duplicate provider submissions — it must be sub-microsecond
-// (it is a mutex-guarded map lookup plus an LRU bump).
+// (it is a sharded map lookup plus a CLOCK ref-bit set).
 func BenchmarkCacheHit(b *testing.B) {
 	s := New(Config{}, nil)
 	req := sampleRequest(0)

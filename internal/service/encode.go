@@ -1,0 +1,66 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// encodeBufPool recycles the JSON rendering buffers of the serving path.
+// Every response the daemon writes — cached bodies aside — used to grow a
+// fresh bytes.Buffer per request; under a saturating client load those
+// buffers dominate the allocation profile, so they are pooled and each
+// response goes out in a single Write.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledEncodeBuf keeps a giant batch rendering from pinning its
+// worst-case buffer in the pool forever; outsized buffers are dropped to
+// the GC instead of recycled.
+const maxPooledEncodeBuf = 1 << 20
+
+func getEncodeBuf() *bytes.Buffer {
+	return encodeBufPool.Get().(*bytes.Buffer)
+}
+
+func putEncodeBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledEncodeBuf {
+		return
+	}
+	b.Reset()
+	encodeBufPool.Put(b)
+}
+
+// encodeRetained renders v with the canonical encoder into a pooled
+// scratch buffer and returns an exact-size private copy — what the result
+// cache retains. The copy means a resident cache entry holds precisely
+// its body, not a pool buffer's growth slack.
+func encodeRetained(v any) ([]byte, error) {
+	buf := getEncodeBuf()
+	defer putEncodeBuf(buf)
+	if err := EncodeJSON(buf, v); err != nil {
+		return nil, err
+	}
+	body := make([]byte, buf.Len())
+	copy(body, buf.Bytes())
+	return body, nil
+}
+
+// writeJSON renders v through the canonical encoder into a pooled buffer
+// and writes it with one Write call. Byte-for-byte it is EncodeJSON(w, v)
+// — same encoder, same indent — without a per-request buffer allocation
+// and without the encoder streaming chunked writes into the
+// ResponseWriter.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getEncodeBuf()
+	defer putEncodeBuf(buf)
+	if err := EncodeJSON(buf, v); err != nil {
+		// Our own response types always render; if one ever does not,
+		// headers may already be gone — nothing recoverable.
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status != http.StatusOK {
+		w.WriteHeader(status)
+	}
+	_, _ = w.Write(buf.Bytes())
+}

@@ -146,6 +146,44 @@ func TestV1GoldenWCET(t *testing.T) {
 	}
 }
 
+// TestV1GoldenParallelWorkers asserts the /v1 wire format is byte-
+// identical when the server solves with a parallel branch & bound
+// (SolverWorkers > 1): the fixtures recorded from sequential solves must
+// match exactly, without ever being rewritten from the parallel run. This
+// is the serving-layer face of the solver's determinism contract — the
+// /v1 bound is the solver's proved upper bound, which is worker-count
+// independent even for gap-stopped searches.
+func TestV1GoldenParallelWorkers(t *testing.T) {
+	srv := New(Config{SolverWorkers: 8}, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for _, tc := range goldenRequests {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/wcet", "application/json", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %s", resp.Status)
+			}
+			var buf bytes.Buffer
+			if _, err := buf.ReadFrom(resp.Body); err != nil {
+				t.Fatal(err)
+			}
+			want, err := os.ReadFile(goldenPath(t, "v1_wcet_"+tc.name))
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("%s: parallel solves drifted from the sequential v1 wire format\ngot:\n%s\nwant:\n%s",
+					tc.name, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
 // TestV1GoldenBatch asserts POST /v1/batch answers byte-identically,
 // per-cell errors included.
 func TestV1GoldenBatch(t *testing.T) {

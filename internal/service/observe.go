@@ -51,10 +51,11 @@ type serverMetrics struct {
 	batchItems *telemetry.Counter // wcetd_batch_items_total
 	inFlight   *telemetry.Gauge   // wcetd_in_flight
 
-	cacheHits      *telemetry.Counter // wcetd_cache_hits_total
-	cacheMisses    *telemetry.Counter // wcetd_cache_misses_total
-	cacheEvictions *telemetry.Counter // wcetd_cache_evictions_total
-	dedup          *telemetry.Counter // wcetd_dedup_total
+	cacheHits       *telemetry.Counter    // wcetd_cache_hits_total
+	cacheMisses     *telemetry.Counter    // wcetd_cache_misses_total
+	cacheEvictions  *telemetry.Counter    // wcetd_cache_evictions_total
+	cacheContention *telemetry.CounterVec // wcetd_cache_shard_contention{shard}
+	dedup           *telemetry.Counter    // wcetd_dedup_total
 
 	promotes      *telemetry.Counter // wcetd_table_promotes_total
 	traces        *telemetry.Counter // wcetd_traces_total
@@ -85,7 +86,9 @@ func newServerMetrics() *serverMetrics {
 		cacheMisses: reg.Counter("wcetd_cache_misses_total",
 			"Result-cache misses (each one schedules an evaluation)."),
 		cacheEvictions: reg.Counter("wcetd_cache_evictions_total",
-			"Result-cache LRU evictions."),
+			"Result-cache evictions (CLOCK second-chance sweep)."),
+		cacheContention: reg.CounterVec("wcetd_cache_shard_contention",
+			"Result-cache lock acquisitions that had to wait, by shard.", "shard"),
 		dedup: reg.Counter("wcetd_dedup_total",
 			"Requests that joined an identical in-flight evaluation (singleflight)."),
 		promotes: reg.Counter("wcetd_table_promotes_total",

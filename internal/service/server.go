@@ -1,7 +1,6 @@
 package service
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -30,6 +29,11 @@ type Config struct {
 	// CacheEntries caps the canonical-request result cache; <= 0 selects
 	// 1024.
 	CacheEntries int
+	// SolverWorkers is the branch & bound worker count for ILP-based
+	// models; <= 0 selects 1 (sequential solves). Bounds are worker-count
+	// independent, so raising it only trades CPU for latency on large
+	// solves.
+	SolverWorkers int
 	// MaxInFlight is the admission-control concurrency limit: how many
 	// requests may be past admission at once; <= 0 selects 64.
 	MaxInFlight int
@@ -134,8 +138,8 @@ type BatchResponse struct {
 
 // CacheStats reports the canonical-request cache counters.
 type CacheStats struct {
-	// Hits counts requests served from the LRU without touching the
-	// models.
+	// Hits counts requests served from the result cache without touching
+	// the models.
 	Hits int64 `json:"hits"`
 	// Misses counts lookups that had to evaluate.
 	Misses int64 `json:"misses"`
@@ -267,6 +271,9 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 		panic(fmt.Sprintf("service: default table ref does not resolve: %v", err))
 	}
 	opts := []wcet.Option{wcet.WithRegistry(reg), wcet.WithConcurrency(1), wcet.WithTableStore(store)}
+	if cfg.SolverWorkers > 1 {
+		opts = append(opts, wcet.WithSolverWorkers(cfg.SolverWorkers))
+	}
 	analyzer, err := wcet.NewAnalyzer(opts...)
 	if err != nil {
 		// The registry lacks the v1 pair — a v2-only deployment. Default
@@ -278,7 +285,7 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 	s := &Server{
 		cfg:        cfg,
 		engine:     engine,
-		cache:      newResultCache(cfg.CacheEntries, metrics.cacheHits, metrics.cacheMisses, metrics.cacheEvictions),
+		cache:      newResultCache(cfg.CacheEntries, metrics.cacheHits, metrics.cacheMisses, metrics.cacheEvictions, metrics.cacheContention),
 		analyzer:   analyzer,
 		store:      store,
 		sem:        make(chan struct{}, cfg.MaxInFlight),
@@ -425,7 +432,7 @@ func (s *Server) admit(ctx context.Context) (release func(), err error) {
 }
 
 // lookupOrCompute is the one cache-accounting point per request: a
-// counting LRU lookup, then the miss path. compute is the version-specific
+// counting cache lookup, then the miss path. compute is the version-specific
 // evaluation (v1 or v2); the admission, caching and singleflight machinery
 // is shared. ctx carries the request trace (when one is active) into the
 // evaluation's spans.
@@ -437,7 +444,7 @@ func (s *Server) lookupOrCompute(ctx context.Context, key string, compute func(c
 }
 
 // computeMiss resolves a request whose miss is already counted: re-check
-// the LRU without accounting (an identical request may have landed while
+// the cache without accounting (an identical request may have landed while
 // this one queued), join an identical in-flight evaluation, or evaluate.
 // ctx bounds only the join wait: an evaluation, once started, runs to
 // completion so its result can be cached for the next asker.
@@ -482,11 +489,11 @@ func (s *Server) evaluateEncoded(ctx context.Context, req Request, table tabstor
 	if err != nil {
 		return nil, err
 	}
-	var buf bytes.Buffer
-	if err := EncodeJSON(&buf, resp); err != nil {
+	body, err := encodeRetained(resp)
+	if err != nil {
 		return nil, err
 	}
-	return &cached{resp: resp, body: buf.Bytes()}, nil
+	return &cached{resp: resp, body: body}, nil
 }
 
 // evaluateV2Encoded runs an already-prepared request's selected models and
@@ -496,11 +503,11 @@ func (s *Server) evaluateV2Encoded(ctx context.Context, sdkReq wcet.Request) (*c
 	if err != nil {
 		return nil, err
 	}
-	var buf bytes.Buffer
-	if err := EncodeJSON(&buf, resp); err != nil {
+	body, err := encodeRetained(resp)
+	if err != nil {
 		return nil, err
 	}
-	return &cached{resp: resp, body: buf.Bytes()}, nil
+	return &cached{resp: resp, body: body}, nil
 }
 
 // requestCtx applies the per-request timeout.
@@ -585,8 +592,7 @@ func (s *Server) handleV2Models(w http.ResponseWriter, r *http.Request) {
 	for _, name := range reg.Names() {
 		out.Models = append(out.Models, V2ModelInfo{Name: name, Aliases: reg.Aliases(name)})
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = EncodeJSON(w, out)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // serveCached is the shared single-request serving path of /v1/wcet and
@@ -717,11 +723,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			out.Results[i] = BatchItem{Response: o.Value.resp.(*Response)}
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := EncodeJSON(w, out); err != nil {
-		// Headers are gone; nothing recoverable.
-		return
-	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -729,8 +731,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = EncodeJSON(w, s.StatsSnapshot())
+	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -769,7 +770,5 @@ type errorBody struct {
 }
 
 func httpError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = EncodeJSON(w, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error()})
 }

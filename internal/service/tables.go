@@ -133,8 +133,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 				Serving: string(id) == serving,
 			})
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = EncodeJSON(w, out)
+		writeJSON(w, http.StatusOK, out)
 	case http.MethodPost:
 		var req V2RegisterTableRequest
 		if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &req); err != nil {
@@ -157,8 +156,7 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
-		_ = EncodeJSON(w, V2RegisterTableResponse{ID: string(id), Ref: req.Ref})
+		writeJSON(w, http.StatusOK, V2RegisterTableResponse{ID: string(id), Ref: req.Ref})
 	default:
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
 	}
@@ -182,8 +180,7 @@ func (s *Server) handleTableByRef(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tj := tabstore.Encode(lt)
-	w.Header().Set("Content-Type", "application/json")
-	_ = EncodeJSON(w, V2TableResponse{ID: string(id), Table: tj})
+	writeJSON(w, http.StatusOK, V2TableResponse{ID: string(id), Table: tj})
 }
 
 // handlePromote atomically retargets the serving default at whatever the
@@ -204,8 +201,7 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request, ref strin
 	s.serving.Store(id)
 	s.metrics.promotes.Inc()
 	s.logger.Info("table promoted", "ref", ref, "serving", string(id))
-	w.Header().Set("Content-Type", "application/json")
-	_ = EncodeJSON(w, V2PromoteResponse{Serving: string(id), Ref: ref})
+	writeJSON(w, http.StatusOK, V2PromoteResponse{Serving: string(id), Ref: ref})
 }
 
 // handleCalibrate ingests one calibration batch into the streaming
@@ -279,6 +275,5 @@ func (s *Server) handleCalibrate(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("cannot register %q: %w", req.Register, err))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = EncodeJSON(w, out)
+	writeJSON(w, http.StatusOK, out)
 }
