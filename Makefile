@@ -52,7 +52,9 @@ fmt:
 	gofmt -w .
 
 # serve-smoke = start wcetd, POST a single and a batch request, assert
-# 200 + expected fields, SIGTERM, assert clean shutdown.
+# 200 + expected fields, SIGTERM, assert clean shutdown; then the
+# campaign-job durability round trip: submit a sweep, SIGKILL the daemon
+# mid-job, restart, assert checkpoint resume and a byte-identical artifact.
 serve-smoke:
 	bash scripts/serve_smoke.sh
 

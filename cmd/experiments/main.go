@@ -43,6 +43,8 @@ func main() {
 	models := flag.String("models", "", "sweep these registered contention models, comma-separated (default ilpPtac,ftc)")
 	tables := flag.String("tables", "", "sweep these stored latency-table versions (refs or IDs from -store), comma-separated")
 	storeDir := flag.String("store", "", "table store directory resolving -tables")
+	jsonOut := flag.String("json", "", `write the sweep artefact as deterministic JSON to this file ("-" = stdout) — byte-identical to a wcetd campaign artifact for the same grid`)
+	appIters := flag.Int("app-iterations", experiments.AppIterations, "analysed application iterations per sweep cell")
 	stats := flag.Bool("stats", false, "print campaign engine counters on exit")
 	flag.Parse()
 
@@ -58,6 +60,9 @@ func main() {
 	}
 	if *tables != "" && *only != "" && *only != "sweep" {
 		fail(fmt.Errorf("-tables only applies to the sweep artefact, not %q", *only))
+	}
+	if *jsonOut != "" && *only != "sweep" {
+		fail(fmt.Errorf("-json only applies to the sweep artefact; run with -only sweep"))
 	}
 	var tableList []string
 	if *tables != "" {
@@ -95,7 +100,7 @@ func main() {
 		"table5":  table5,
 		"table6":  table6,
 		"figure4": figure4,
-		"sweep":   sweepArtefact(perts, modelList, tableList, store),
+		"sweep":   sweepArtefact(perts, modelList, tableList, store, *appIters, *jsonOut),
 	}
 	run := func(name string) {
 		if err := artefacts[name](ctx, runner, lat); err != nil {
@@ -240,10 +245,10 @@ func figure4(ctx context.Context, r experiments.Runner, lat platform.LatencyTabl
 	return nil
 }
 
-func sweepArtefact(perts []experiments.Perturbation, models, tables []string, store *tabstore.Store) func(context.Context, experiments.Runner, platform.LatencyTable) error {
+func sweepArtefact(perts []experiments.Perturbation, models, tables []string, store *tabstore.Store, appIters int, jsonOut string) func(context.Context, experiments.Runner, platform.LatencyTable) error {
 	return func(ctx context.Context, r experiments.Runner, lat platform.LatencyTable) error {
 		points, err := r.Sweep(ctx, lat, experiments.Grid{
-			AppIterations: experiments.AppIterations,
+			AppIterations: appIters,
 			Perturbations: perts,
 			Models:        models,
 			Tables:        tables,
@@ -251,6 +256,27 @@ func sweepArtefact(perts []experiments.Perturbation, models, tables []string, st
 		})
 		if err != nil {
 			return err
+		}
+		if jsonOut != "" {
+			// The artifact encoding is shared with the jobs subsystem, so
+			// this file is byte-identical to what wcetd serves for the
+			// same grid over the same base table.
+			data, err := experiments.EncodeArtifact(experiments.WirePoints(points))
+			if err != nil {
+				return err
+			}
+			if jsonOut == "-" {
+				_, err = os.Stdout.Write(data)
+			} else {
+				err = os.WriteFile(jsonOut, data, 0o644)
+			}
+			if err != nil {
+				return err
+			}
+			if jsonOut != "-" {
+				fmt.Printf("sweep artefact written to %s\n", jsonOut)
+			}
+			return nil
 		}
 		fmt.Println("== Design-space sweep (pre-integration, isolation measurements only) ==")
 		fmt.Printf("%-10s %-10s %-8s %12s", "platform", "deploy", "co-load", "isolation")

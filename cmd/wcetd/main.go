@@ -22,7 +22,21 @@
 //	POST /v2/tables/{ref}/promote  atomically hot-swap the serving default
 //	POST /v2/calibrate             streaming calibration: DSU readings in,
 //	                candidate table + drift report out
+//	POST /v2/campaigns             submit an asynchronous grid-sweep
+//	                campaign job (validated pre-admission, runs at
+//	                background priority on the shared worker pool);
+//	                GET lists jobs
+//	GET  /v2/campaigns/{id}           job status and progress
+//	GET  /v2/campaigns/{id}/artifact  finished, content-verified results
+//	GET  /v2/campaigns/{id}/stream    per-cell progress over SSE
+//	                (Last-Event-ID resumes after a disconnect or restart)
+//	DELETE /v2/campaigns/{id}         cancel
 //	GET  /healthz   liveness
+//
+// Campaign jobs checkpoint every completed cell under -jobs-dir
+// (default: <data>/jobs) and resume from the checkpoint after a crash
+// or restart; a resumed job's artifact is byte-identical to an
+// uninterrupted run's.
 //
 // Latency tables are versioned, content-addressed artifacts: -data
 // persists them (and their refs) across restarts, and a recalibrated
@@ -46,6 +60,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -66,6 +81,8 @@ func main() {
 	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
 	maxBatch := flag.Int("max-batch", 4096, "maximum requests per batch")
 	dataDir := flag.String("data", "", "latency-table store directory (empty: in-memory, tables are lost on exit)")
+	jobsDir := flag.String("jobs-dir", "", "campaign-job persistence directory (empty: <data>/jobs, or in-memory when -data is empty too)")
+	maxJobs := flag.Int("max-jobs", 16, "maximum concurrently admitted campaign jobs")
 	tableRef := flag.String("table", "tc27x/default", "table ref to serve under at startup")
 	slowReq := flag.Duration("slow-request", time.Second, "log requests slower than this with their trace (negative disables)")
 	ops := flag.Bool("ops", false, "expose net/http/pprof under /debug/pprof/")
@@ -82,6 +99,11 @@ func main() {
 	store, err := tabstore.Open(*dataDir)
 	if err != nil {
 		fail(logger, err)
+	}
+	// Campaign jobs persist next to the table store by default, so one
+	// -data flag gives the whole daemon durable state.
+	if *jobsDir == "" && *dataDir != "" {
+		*jobsDir = filepath.Join(*dataDir, "jobs")
 	}
 	// The service seeds "tc27x/default" itself; any other startup ref
 	// must already exist in the store — fail with a usage error rather
@@ -103,6 +125,8 @@ func main() {
 		MaxBatchItems:        *maxBatch,
 		TableStore:           store,
 		DefaultTableRef:      *tableRef,
+		JobsDir:              *jobsDir,
+		MaxJobs:              *maxJobs,
 		SlowRequestThreshold: *slowReq,
 		Logger:               logger,
 		EnableOps:            *ops,
@@ -115,6 +139,11 @@ func main() {
 	logger.Info("listening", "addr", ln.Addr().String())
 	logger.Info("serving models", "models", strings.Join(wcet.DefaultRegistry().Names(), ", "))
 	logger.Info("serving table", "ref", *tableRef, "id", srv.StatsSnapshot().ServingTable)
+	if *jobsDir != "" {
+		logger.Info("campaign jobs persisted", "dir", *jobsDir, "maxJobs", *maxJobs)
+	} else {
+		logger.Info("campaign jobs in-memory (no -data/-jobs-dir)", "maxJobs", *maxJobs)
+	}
 	if *ops {
 		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}

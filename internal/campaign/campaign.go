@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/platform"
 	"repro/internal/sim"
@@ -42,6 +43,27 @@ var (
 		"Isolation runs that had to be simulated.")
 	mSimRuns = telemetry.Default().Counter("campaign_sim_runs_total",
 		"Simulator invocations performed by campaign engines.")
+	mBgCells = telemetry.Default().Counter("campaign_bg_cells_total",
+		"Campaign cells executed at Background priority.")
+	mBgYields = telemetry.Default().Counter("campaign_bg_yields_total",
+		"Background slot acquisitions deferred to waiting interactive work.")
+)
+
+// Priority orders slot acquisition on an Engine's shared semaphore.
+// Interactive is the serving path: it competes for every slot with no
+// gate. Background is bulk campaign-job work: it is capped below the full
+// pool width (at least one slot of headroom whenever the pool has more
+// than one) and it parks whenever an interactive acquirer is waiting, so
+// a long-running job soaks idle capacity without starving request
+// latency. The inversion window is bounded by one cell duration: slots
+// already held by background cells are never preempted.
+type Priority int
+
+const (
+	// Interactive is the default serving-path priority.
+	Interactive Priority = iota
+	// Background is the bulk campaign-job priority.
+	Background
 )
 
 // Engine schedules campaign cells across a fixed worker pool and caches
@@ -62,6 +84,15 @@ type Engine struct {
 	// parents, the nested campaign would deadlock.
 	slots chan struct{}
 
+	// bgTickets caps how many slots Background work may hold at once:
+	// max(1, workers-1), so interactive traffic always has headroom on a
+	// pool wider than one slot. A background worker must hold a ticket
+	// before it may take a slot.
+	bgTickets chan struct{}
+	// hiWaiting counts interactive acquirers currently blocked on slots;
+	// background acquirers park while it is non-zero.
+	hiWaiting atomic.Int64
+
 	mu  sync.Mutex
 	iso map[isoKey]*isoEntry
 
@@ -76,10 +107,15 @@ func New(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	bg := workers - 1
+	if bg < 1 {
+		bg = 1
+	}
 	return &Engine{
-		workers: workers,
-		slots:   make(chan struct{}, workers),
-		iso:     make(map[isoKey]*isoEntry),
+		workers:   workers,
+		slots:     make(chan struct{}, workers),
+		bgTickets: make(chan struct{}, bg),
+		iso:       make(map[isoKey]*isoEntry),
 	}
 }
 
@@ -122,12 +158,76 @@ type Outcome[T any] struct {
 // the context error after the pool drains and never escapes the package.
 var errNotRun = errors.New("campaign: job not run")
 
+// bgParkInterval is how long a background acquirer sleeps between checks
+// while interactive work is waiting for slots. Short enough that a
+// background campaign resumes promptly when the interactive burst drains,
+// long enough to stay invisible next to a cell's runtime.
+const bgParkInterval = time.Millisecond
+
+// acquire takes one engine slot at the given priority. It returns false
+// if ctx was cancelled before a slot was obtained; on true the caller
+// must call release with the same priority after the job completes.
+func (e *Engine) acquire(ctx context.Context, pri Priority) bool {
+	if pri != Background {
+		e.hiWaiting.Add(1)
+		defer e.hiWaiting.Add(-1)
+		select {
+		case e.slots <- struct{}{}:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	// Background: hold a ticket (caps concurrent background slots below
+	// the pool width), and yield to any waiting interactive acquirer.
+	select {
+	case e.bgTickets <- struct{}{}:
+	case <-ctx.Done():
+		return false
+	}
+	yielded := false
+	for e.hiWaiting.Load() > 0 {
+		if !yielded {
+			yielded = true
+			mBgYields.Inc()
+		}
+		select {
+		case <-time.After(bgParkInterval):
+		case <-ctx.Done():
+			<-e.bgTickets
+			return false
+		}
+	}
+	select {
+	case e.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		<-e.bgTickets
+		return false
+	}
+}
+
+// release returns a slot taken by acquire at the same priority.
+func (e *Engine) release(pri Priority) {
+	<-e.slots
+	if pri == Background {
+		<-e.bgTickets
+	}
+}
+
 // All runs every job on e's worker pool and returns one outcome per job,
 // in input order, regardless of which worker finished which job when. It
 // collects per-run errors rather than failing fast: a failing cell never
 // prevents the remaining cells from running. Cancelling ctx stops workers
 // from picking up new jobs; jobs that never started report ctx.Err().
 func All[T any](ctx context.Context, e *Engine, jobs []Job[T]) []Outcome[T] {
+	return AllAt(ctx, e, Interactive, jobs)
+}
+
+// AllAt is All with an explicit admission priority. Background campaigns
+// run on the same bounded pool but leave headroom for — and yield slots
+// to — Interactive work; see Priority.
+func AllAt[T any](ctx context.Context, e *Engine, pri Priority, jobs []Job[T]) []Outcome[T] {
 	outcomes := make([]Outcome[T], len(jobs))
 	for i := range outcomes {
 		outcomes[i].Err = errNotRun
@@ -144,17 +244,18 @@ func All[T any](ctx context.Context, e *Engine, jobs []Job[T]) []Outcome[T] {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				select {
-				case e.slots <- struct{}{}:
-				case <-ctx.Done():
+				if !e.acquire(ctx, pri) {
 					// Leave the slot's outcome as not-run; it picks up the
 					// context error after the pool drains.
 					continue
 				}
 				mCells.Inc()
+				if pri == Background {
+					mBgCells.Inc()
+				}
 				v, err := jobs[i](ctx)
 				outcomes[i] = Outcome[T]{Value: v, Err: err}
-				<-e.slots
+				e.release(pri)
 			}
 		}()
 	}
@@ -202,7 +303,12 @@ func Batch[In, Out any](ctx context.Context, e *Engine, items []In, fn func(cont
 // alongside an error joining every per-cell failure (each annotated with
 // its cell index).
 func Collect[T any](ctx context.Context, e *Engine, jobs []Job[T]) ([]T, error) {
-	outcomes := All(ctx, e, jobs)
+	return CollectAt(ctx, e, Interactive, jobs)
+}
+
+// CollectAt is Collect with an explicit admission priority.
+func CollectAt[T any](ctx context.Context, e *Engine, pri Priority, jobs []Job[T]) ([]T, error) {
+	outcomes := AllAt(ctx, e, pri, jobs)
 	values := make([]T, len(outcomes))
 	var errs []error
 	for i, o := range outcomes {

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/tabstore"
+	"repro/wcet"
+)
+
+// FuzzGridSpec checks the campaign-submission front door is total:
+// arbitrary wire bytes either fail to decode, fail Compile with a typed
+// *GridError, or compile to a grid that plans cleanly — never a panic,
+// and never an untyped rejection. Whatever decodes also survives a
+// marshal/decode round trip unchanged, so the spec echoed in a job's
+// persisted metadata re-compiles to the same grid on resume.
+func FuzzGridSpec(f *testing.F) {
+	// Seeds: the shapes the tests and docs exercise, plus near-misses.
+	f.Add(`{}`)
+	f.Add(`{"scenarios":[1,2],"levels":["H-Load","M-Load","L-Load"]}`)
+	f.Add(`{"models":["ftc","ilpPtac"],"appIterations":300}`)
+	f.Add(`{"perturbations":[{},{"name":"slow10","scalePercent":110}]}`)
+	f.Add(`{"tables":["tc27x/default"]}`)
+	f.Add(`{"scenarios":[]}`)
+	f.Add(`{"levels":["X-Load"]}`)
+	f.Add(`{"perturbations":[{"scalePercent":110}]}`)
+	f.Add(`{"appIterations":-1}`)
+	f.Add(`{"models":["ftc","ftc"]}`)
+	f.Add(`{"bogus":true}`)
+	f.Add(`{"scenarios":[1]} trailing`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+
+	store, err := tabstore.Open("")
+	if err != nil {
+		f.Fatal(err)
+	}
+	id, err := store.Put(wcet.TC27x())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := store.SetRef("tc27x/default", id); err != nil {
+		f.Fatal(err)
+	}
+	reg := wcet.DefaultRegistry()
+	lat := platform.TC27xLatencies()
+
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := DecodeGridSpec([]byte(in))
+		if err != nil {
+			return
+		}
+		grid, err := spec.Compile(store, reg)
+		if err != nil {
+			var ge *GridError
+			if !errors.As(err, &ge) {
+				t.Fatalf("Compile rejection is not a *GridError: %v", err)
+			}
+			return
+		}
+		// Valid specs round-trip exactly through JSON — the durability
+		// contract: a job's persisted spec re-compiles to the same grid
+		// on resume. (Invalid specs may not: omitempty collapses an
+		// explicitly-empty dimension, but those are rejected above and
+		// never persisted.)
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("valid spec failed to marshal: %v", err)
+		}
+		again, err := DecodeGridSpec(raw)
+		if err != nil {
+			t.Fatalf("re-marshalled spec failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round trip changed spec: %+v vs %+v", spec, again)
+		}
+		plan, err := grid.Plan(lat)
+		if err != nil {
+			t.Fatalf("compiled grid failed to plan: %v", err)
+		}
+		if plan.Size() != grid.Size() || plan.Size() <= 0 {
+			t.Fatalf("plan has %d cells, grid reports %d", plan.Size(), grid.Size())
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/tabstore"
+	"repro/internal/workload"
+	"repro/wcet"
+)
+
+func TestGridValidateDefaultsPass(t *testing.T) {
+	for _, g := range []Grid{
+		{},
+		{AppIterations: 100},
+		{Scenarios: []workload.Scenario{workload.Scenario2}, Levels: []workload.Level{workload.LLoad}},
+		{Models: []string{"ftc"}},
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", g, err)
+		}
+	}
+}
+
+func TestGridValidateTypedRejections(t *testing.T) {
+	store, _ := tabstore.Open("")
+	if id, err := store.Put(lat); err != nil {
+		t.Fatal(err)
+	} else if err := store.SetRef("a", id); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    Grid
+		want error
+	}{
+		{"empty scenarios", Grid{Scenarios: []workload.Scenario{}}, ErrEmptyDimension},
+		{"empty levels", Grid{Levels: []workload.Level{}}, ErrEmptyDimension},
+		{"empty perturbations", Grid{Perturbations: []Perturbation{}}, ErrEmptyDimension},
+		{"empty models", Grid{Models: []string{}}, ErrEmptyDimension},
+		{"bad scenario", Grid{Scenarios: []workload.Scenario{9}}, ErrBadValue},
+		{"bad level", Grid{Levels: []workload.Level{workload.Level(9)}}, ErrBadValue},
+		{"negative iterations", Grid{AppIterations: -1}, ErrBadValue},
+		{"outsized iterations", Grid{AppIterations: maxAppIterations + 1}, ErrBadValue},
+		{"duplicate perturbation", Grid{Perturbations: []Perturbation{
+			ScaleLatencies("x", 110, 100), ScaleLatencies("x", 120, 100)}}, ErrDuplicate},
+		{"duplicate model via alias", Grid{Models: []string{"ftc", "fTC"}}, ErrDuplicate},
+		{"duplicate table", Grid{Tables: []string{"a", "a"}, Store: store}, ErrDuplicate},
+		{"tables without store", Grid{Tables: []string{"x"}}, ErrNoStore},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate passed, want %v", tc.name, tc.want)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v, not errors.Is %v", tc.name, err, tc.want)
+		}
+		var ge *GridError
+		if !errors.As(err, &ge) {
+			t.Errorf("%s: error %T is not a *GridError", tc.name, err)
+		}
+	}
+
+	// Unknown model and unknown table ref carry the underlying resolver
+	// error inside the GridError.
+	if err := (Grid{Models: []string{"nope"}}).Validate(); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown model: %v", err)
+	}
+	if err := (Grid{Tables: []string{"nope"}, Store: store}).Validate(); err == nil || !strings.Contains(err.Error(), "unknown table ref") {
+		t.Errorf("unknown table ref: %v", err)
+	}
+}
+
+// TestSweepRejectsBeforeEngine: an invalid grid fails Sweep with the
+// typed error and zero cells executed.
+func TestSweepRejectsBeforeEngine(t *testing.T) {
+	eng := campaign.New(2)
+	r := NewRunner(eng)
+	before := eng.Stats().SimRuns
+	_, err := r.Sweep(context.Background(), lat, Grid{Scenarios: []workload.Scenario{}})
+	if !errors.Is(err, ErrEmptyDimension) {
+		t.Fatalf("Sweep error = %v, want ErrEmptyDimension", err)
+	}
+	if after := eng.Stats().SimRuns; after != before {
+		t.Fatalf("invalid grid reached the engine: %d sim runs", after-before)
+	}
+}
+
+func TestDecodeGridSpecStrict(t *testing.T) {
+	if _, err := DecodeGridSpec([]byte(`{"scenarios": [1], "bogus": true}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := DecodeGridSpec([]byte(`{"scenarios": [1]} {"scenarios": [2]}`)); err == nil {
+		t.Error("trailing JSON value accepted")
+	}
+	s, err := DecodeGridSpec([]byte(`{"scenarios": [2], "levels": ["L-Load"], "appIterations": 50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Scenarios) != 1 || s.Scenarios[0] != 2 || s.AppIterations != 50 {
+		t.Fatalf("decoded spec %+v", s)
+	}
+}
+
+func TestGridSpecCompile(t *testing.T) {
+	store, _ := tabstore.Open("")
+	reg := wcet.DefaultRegistry()
+
+	// Omitted dimensions compile to the defaulting zero Grid.
+	g, err := GridSpec{}.Compile(store, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Scenarios != nil || g.Levels != nil || g.Models != nil {
+		t.Fatalf("empty spec compiled to non-nil dimensions: %+v", g)
+	}
+	if g.Size() != (Grid{}).withDefaults().Size() {
+		t.Fatalf("empty spec grid size %d", g.Size())
+	}
+
+	g, err = GridSpec{
+		Scenarios:     []int{2},
+		Levels:        []string{"H-Load", "L-Load"},
+		Perturbations: []PerturbationSpec{{}, {Name: "respin+10", ScalePercent: 110}},
+		AppIterations: 50,
+		Models:        []string{"ftc"},
+	}.Compile(store, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Scenarios) != 1 || g.Scenarios[0] != workload.Scenario2 {
+		t.Fatalf("scenarios %v", g.Scenarios)
+	}
+	if len(g.Levels) != 2 || g.Levels[0] != workload.HLoad || g.Levels[1] != workload.LLoad {
+		t.Fatalf("levels %v", g.Levels)
+	}
+	if len(g.Perturbations) != 2 || g.Perturbations[0].Name != "" || g.Perturbations[1].Name != "respin+10" {
+		t.Fatalf("perturbations %+v", g.Perturbations)
+	}
+	if g.Size() != 1*2*2 {
+		t.Fatalf("size %d, want 4", g.Size())
+	}
+
+	for name, spec := range map[string]GridSpec{
+		"empty scenarios":  {Scenarios: []int{}},
+		"bad scenario":     {Scenarios: []int{3}},
+		"bad level":        {Levels: []string{"X-Load"}},
+		"bad scale":        {Perturbations: []PerturbationSpec{{Name: "x", ScalePercent: -5}}},
+		"unnamed scale":    {Perturbations: []PerturbationSpec{{ScalePercent: 110}}},
+		"unknown model":    {Models: []string{"nope"}},
+		"unknown table":    {Tables: []string{"nope"}},
+		"huge iterations":  {AppIterations: maxAppIterations + 1},
+		"duplicate models": {Models: []string{"ilpPtac", "ilp-ptac"}},
+	} {
+		if _, err := spec.Compile(store, reg); err == nil {
+			t.Errorf("%s: compiled, want error", name)
+		} else {
+			var ge *GridError
+			if !errors.As(err, &ge) {
+				t.Errorf("%s: error %T is not a *GridError", name, err)
+			}
+		}
+	}
+}
+
+func TestParseLevelRoundTrip(t *testing.T) {
+	for _, lv := range workload.Levels {
+		got, err := ParseLevel(lv.String())
+		if err != nil || got != lv {
+			t.Errorf("ParseLevel(%q) = %v, %v", lv.String(), got, err)
+		}
+	}
+	if _, err := ParseLevel("H-load"); err == nil {
+		t.Error("case-mangled level accepted")
+	}
+}
+
+// TestArtifactEncodingDeterministic pins the byte-identity property the
+// campaign-job resume contract rests on: encoding the same points twice
+// is identical, and a point that went through a JSON round trip (as
+// checkpointed cells do) re-encodes to the same bytes as a fresh one.
+func TestArtifactEncodingDeterministic(t *testing.T) {
+	pts, err := Sweep(lat, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := WirePoints(pts)
+	a, err := EncodeArtifact(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeArtifact(WirePoints(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same points encoded differently")
+	}
+
+	// Round trip every point through JSON, as the checkpoint log does.
+	var tripped []PointJSON
+	for _, p := range wire {
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back PointJSON
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		tripped = append(tripped, back)
+	}
+	c, err := EncodeArtifact(tripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("JSON-round-tripped points encoded differently")
+	}
+
+	if len(a) == 0 || a[len(a)-1] != '\n' {
+		t.Fatal("artifact must end in a newline")
+	}
+}

@@ -216,53 +216,119 @@ func Sweep(lat platform.LatencyTable, appIterations int) ([]SweepPoint, error) {
 	return defaultRunner.Sweep(context.Background(), lat, Grid{AppIterations: appIterations})
 }
 
-// Sweep runs the configured grid: one engine cell per (table,
-// perturbation, scenario, level) combination, in stable grid order
-// (stored tables outermost, then perturbations, levels innermost). Cells
-// of the same (table, perturbation, scenario) share the application's
-// isolation baseline through the engine's memo cache instead of
-// re-simulating it.
-func (r Runner) Sweep(ctx context.Context, lat platform.LatencyTable, grid Grid) ([]SweepPoint, error) {
-	grid = grid.withDefaults()
+// Cell identifies one cell of a planned grid: its coordinates along every
+// grid dimension, plus its index in stable grid order.
+type Cell struct {
+	Index        int
+	Table        string
+	Perturbation string
+	Scenario     workload.Scenario
+	Level        workload.Level
+}
 
-	// Resolve the stored-table dimension up front: a dangling ref fails
-	// the sweep before any simulation runs.
+// plannedCell pairs a cell's coordinates with its fully resolved (stored
+// table selected, perturbation applied) latency characterisation.
+type plannedCell struct {
+	cell Cell
+	lat  platform.LatencyTable
+}
+
+// SweepPlan is a validated grid lowered to an executable cell list: the
+// stored-table dimension resolved, perturbations applied, and every cell
+// enumerated in stable grid order (stored tables outermost, then
+// perturbations, scenarios, levels innermost). The plan is what both the
+// in-process Sweep and the server-side campaign-job subsystem execute —
+// one implementation, so their results are identical cell for cell.
+type SweepPlan struct {
+	grid  Grid
+	cells []plannedCell
+}
+
+// Plan validates the grid against the base characterisation and
+// enumerates its cells. A dangling table ref or contradictory dimension
+// fails here, before any simulation runs (see Grid.Validate).
+func (g Grid) Plan(lat platform.LatencyTable) (*SweepPlan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g = g.withDefaults()
+
 	type tableVariant struct {
 		name string
 		lat  platform.LatencyTable
 	}
 	variants := []tableVariant{{name: "", lat: lat}}
-	if len(grid.Tables) > 0 {
-		if grid.Store == nil {
-			return nil, fmt.Errorf("experiments: Grid.Tables set but Grid.Store is nil")
-		}
+	if len(g.Tables) > 0 {
 		variants = variants[:0]
-		for _, ref := range grid.Tables {
-			resolved, _, err := grid.Store.Resolve(ref)
+		for _, ref := range g.Tables {
+			resolved, _, err := g.Store.Resolve(ref)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %w", err)
+				// Validate resolved this ref moments ago; losing it here
+				// means the store mutated underneath the plan.
+				return nil, gridErr("tables", fmt.Sprintf("%q", ref), err)
 			}
 			variants = append(variants, tableVariant{name: ref, lat: resolved})
 		}
 	}
 
-	var jobs []campaign.Job[SweepPoint]
+	p := &SweepPlan{grid: g, cells: make([]plannedCell, 0, g.Size())}
 	for _, tv := range variants {
-		for _, pert := range grid.Perturbations {
-			tv, lat := tv, pert.apply(tv.lat)
-			for _, sc := range grid.Scenarios {
-				for _, lv := range grid.Levels {
-					jobs = append(jobs, func(ctx context.Context) (SweepPoint, error) {
-						p, err := r.sweepCell(ctx, lat, sc, lv, grid)
-						if err != nil {
-							return SweepPoint{}, fmt.Errorf("experiments: sweep table %q pert %q scenario %d %s: %w", tv.name, pert.Name, sc, lv, err)
-						}
-						p.Table = tv.name
-						p.Perturbation = pert.Name
-						return p, nil
+		for _, pert := range g.Perturbations {
+			lat := pert.apply(tv.lat)
+			for _, sc := range g.Scenarios {
+				for _, lv := range g.Levels {
+					p.cells = append(p.cells, plannedCell{
+						cell: Cell{
+							Index:        len(p.cells),
+							Table:        tv.name,
+							Perturbation: pert.Name,
+							Scenario:     sc,
+							Level:        lv,
+						},
+						lat: lat,
 					})
 				}
 			}
+		}
+	}
+	return p, nil
+}
+
+// Size is the number of cells in the plan.
+func (p *SweepPlan) Size() int { return len(p.cells) }
+
+// Cell returns the coordinates of cell i.
+func (p *SweepPlan) Cell(i int) Cell { return p.cells[i].cell }
+
+// RunCell evaluates one planned cell. Cells are independent and may run
+// concurrently; cells of the same (table, perturbation, scenario) share
+// the application's isolation baseline through the engine's memo cache.
+func (r Runner) RunCell(ctx context.Context, p *SweepPlan, i int) (SweepPoint, error) {
+	pc := p.cells[i]
+	pt, err := r.sweepCell(ctx, pc.lat, pc.cell.Scenario, pc.cell.Level, p.grid)
+	if err != nil {
+		return SweepPoint{}, fmt.Errorf("experiments: sweep table %q pert %q scenario %d %s: %w",
+			pc.cell.Table, pc.cell.Perturbation, pc.cell.Scenario, pc.cell.Level, err)
+	}
+	pt.Table = pc.cell.Table
+	pt.Perturbation = pc.cell.Perturbation
+	return pt, nil
+}
+
+// Sweep runs the configured grid: one engine cell per (table,
+// perturbation, scenario, level) combination, in stable grid order. It
+// plans the grid (validating it before any simulation runs) and drains
+// the cells through the engine pool.
+func (r Runner) Sweep(ctx context.Context, lat platform.LatencyTable, grid Grid) ([]SweepPoint, error) {
+	plan, err := grid.Plan(lat)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]campaign.Job[SweepPoint], plan.Size())
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (SweepPoint, error) {
+			return r.RunCell(ctx, plan, i)
 		}
 	}
 	return campaign.Collect(ctx, r.eng, jobs)

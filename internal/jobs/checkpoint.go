@@ -1,0 +1,172 @@
+package jobs
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/experiments"
+)
+
+// checkpointLine is one completed cell on disk: the cell's grid index,
+// its wire-form result, and a checksum binding the two. The checksum
+// turns "did this line land intact?" into a local decision: a torn
+// append, a truncated tail or a flipped byte fails verification and the
+// log is cut back to its last good prefix.
+type checkpointLine struct {
+	Index int             `json:"index"`
+	Point json.RawMessage `json:"point"`
+	Sum   string          `json:"sum"`
+}
+
+// lineSum checksums a cell record: SHA-256 over "<index>:<point bytes>".
+func lineSum(index int, point []byte) string {
+	h := sha256.New()
+	h.Write([]byte(strconv.Itoa(index)))
+	h.Write([]byte{':'})
+	h.Write(point)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// encodeCheckpointLine renders one cell record, newline-terminated.
+func encodeCheckpointLine(index int, point experiments.PointJSON) ([]byte, error) {
+	raw, err := json.Marshal(point)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encoding checkpoint point: %w", err)
+	}
+	line, err := json.Marshal(checkpointLine{Index: index, Point: raw, Sum: lineSum(index, raw)})
+	if err != nil {
+		return nil, fmt.Errorf("jobs: encoding checkpoint line: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// maxCheckpointLine bounds one cell record; a grid cell's wire form is a
+// handful of estimates, so a megabyte of slack is generous.
+const maxCheckpointLine = 1 << 20
+
+// checkpointLoad is the result of reading a checkpoint log.
+type checkpointLoad struct {
+	// points maps grid index to the checkpointed result, last write wins
+	// (duplicates cannot disagree — cells are deterministic — but the
+	// map also dedups a line replayed across a crashed append).
+	points map[int]experiments.PointJSON
+	// order lists cell indices in log order (the replayable event log).
+	order []int
+	// goodBytes is the offset of the end of the last verified line;
+	// everything past it is torn or tampered and must be truncated
+	// before appending resumes.
+	goodBytes int64
+	// dropped counts discarded trailing lines/bytes (diagnostics).
+	dropped int
+}
+
+// loadCheckpoint reads a checkpoint log, verifying every line. It stops
+// at the first unverifiable line — malformed JSON, checksum mismatch,
+// out-of-range index or a missing trailing newline (a torn append) —
+// and reports the verified prefix; the cells past it simply re-solve.
+// A missing file is an empty log.
+func loadCheckpoint(path string, totalCells int) (checkpointLoad, error) {
+	load := checkpointLoad{points: make(map[int]experiments.PointJSON)}
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return load, nil
+	}
+	if err != nil {
+		return load, fmt.Errorf("jobs: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	r := bufio.NewReaderSize(f, 64*1024)
+	for {
+		lineBytes, err := readLine(r)
+		if err != nil {
+			// io.EOF with no partial data: clean end. Anything else —
+			// a partial unterminated line, an overlong line, a read
+			// error — is an unverifiable tail.
+			if len(lineBytes) > 0 || err != io.EOF {
+				load.dropped++
+			}
+			return load, nil
+		}
+		var line checkpointLine
+		ok := json.Unmarshal(lineBytes, &line) == nil &&
+			line.Sum == lineSum(line.Index, line.Point) &&
+			line.Index >= 0 && line.Index < totalCells
+		if ok {
+			var pt experiments.PointJSON
+			if json.Unmarshal(line.Point, &pt) != nil {
+				ok = false
+			} else {
+				if _, dup := load.points[line.Index]; !dup {
+					load.order = append(load.order, line.Index)
+				}
+				load.points[line.Index] = pt
+			}
+		}
+		if !ok {
+			load.dropped++
+			return load, nil
+		}
+		// +1 for the newline readLine stripped.
+		load.goodBytes += int64(len(lineBytes)) + 1
+	}
+}
+
+// readLine returns the next newline-terminated line without its
+// terminator. A final unterminated fragment is returned with a non-nil
+// error so the caller treats it as torn; an empty file yields (nil,
+// io.EOF).
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err == nil {
+		if len(line) > maxCheckpointLine {
+			return line, fmt.Errorf("jobs: checkpoint line over %d bytes", maxCheckpointLine)
+		}
+		return line[:len(line)-1], nil
+	}
+	return line, err
+}
+
+// writeFileAtomic persists data at path via the tabstore idiom: write to
+// a temp file in the same directory, then rename over the target, so
+// readers observe either the old content or the new, never a prefix.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("jobs: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("jobs: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobs: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("jobs: renaming into %s: %w", path, err)
+	}
+	return nil
+}
+
+// artifactID content-addresses an artifact.
+func artifactID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/wcet"
+)
+
+// FuzzV2Prepare checks the /v2/analyze front door is total: arbitrary
+// wire bytes either fail strict decoding, fail Prepare with an error, or
+// prepare into an SDK request — never a panic — and Prepare is
+// deterministic (two calls on the same decoded request agree), which the
+// serving layer's canonical-request cache key depends on.
+func FuzzV2Prepare(f *testing.F) {
+	// Seeds: the golden /v1 conversations (every v1 body is a valid v2
+	// body) plus the v2-only shapes — model selection, templates, exact
+	// PTACs, table refs — and near-misses for each.
+	for _, g := range goldenRequests {
+		f.Add(g.body)
+	}
+	f.Add(`{
+  "scenario": 1,
+  "models": ["ftc", "ilpPtac"],
+  "analysed":   {"CCNT": 157800, "PS": 18000, "DS": 27000, "PM": 3000},
+  "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
+}`)
+	f.Add(`{
+  "scenario": 2,
+  "models": ["templatePtac"],
+  "analysed":   {"CCNT": 301000, "PS": 40000, "DS": 51000, "PM": 6100, "DMC": 1200, "DMD": 400},
+  "templates": [{"name": "brakeCtl", "maxRequests": {"pf0/co": 120, "lmu/da": 40}}]
+}`)
+	f.Add(`{
+  "scenario": 1,
+  "models": ["ideal"],
+  "analysed":   {"CCNT": 157800, "PS": 18000, "DS": 27000, "PM": 3000},
+  "analysedPtac": {"pf0/co": 300, "dfl/da": 25},
+  "contenderPtacs": [{"pf1/co": 500}]
+}`)
+	f.Add(`{"scenario": 1, "table": "tc27x/default", "analysed": {"CCNT": 1000, "PS": 100, "DS": 100}}`)
+	f.Add(`{"scenario": 7, "analysed": {"CCNT": 1000}}`)
+	f.Add(`{"scenario": 1, "stallMode": "banana"}`)
+	f.Add(`{"scenario": 1, "models": [""]}`)
+	f.Add(`{"scenario": 1, "models": ["ftc", "fTC"]}`)
+	f.Add(`{"scenario": 1, "analysedPtac": {"pf9/co": -1}}`)
+	f.Add(`{"scenario": 1, "unknownField": 1}`)
+	f.Add(`{"scenario": 1} {"scenario": 2}`)
+	f.Add(`[]`)
+
+	reg := wcet.DefaultRegistry()
+	f.Fuzz(func(t *testing.T, in string) {
+		var req V2Request
+		if err := decodeStrict(bytes.NewReader([]byte(in)), &req); err != nil {
+			return
+		}
+		first, err := req.Prepare(reg)
+		if err != nil {
+			return
+		}
+		second, err := req.Prepare(reg)
+		if err != nil {
+			t.Fatalf("Prepare succeeded then failed on the same request: %v", err)
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("Prepare is nondeterministic:\n first: %+v\nsecond: %+v", first, second)
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/jobs"
+)
+
+// V2CampaignList is the GET /v2/campaigns response.
+type V2CampaignList struct {
+	Campaigns []jobs.Status `json:"campaigns"`
+}
+
+// handleCampaigns serves the /v2/campaigns collection: POST submits a
+// job, GET lists jobs newest-first.
+func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var spec jobs.Spec
+		if err := decodeStrict(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes), &spec); err != nil {
+			httpError(w, decodeStatus(err), err)
+			return
+		}
+		st, err := s.jobs.Submit(spec, string(s.servingID()))
+		if err != nil {
+			jobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, V2CampaignList{Campaigns: s.jobs.List()})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST or GET required"))
+	}
+}
+
+// routeCampaign dispatches /v2/campaigns/{id}[/stream|/artifact]. The
+// stream endpoint gets its own instrument label so long-lived SSE
+// connections are excluded from the slow-request log, like
+// /v2/stats/stream.
+func (s *Server) routeCampaign(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v2/campaigns/")
+	id, sub, _ := strings.Cut(rest, "/")
+	if id == "" {
+		httpError(w, http.StatusNotFound, fmt.Errorf("campaign id required"))
+		return
+	}
+	switch sub {
+	case "":
+		s.instrument("v2_campaigns_id", false, func(w http.ResponseWriter, r *http.Request) {
+			s.handleCampaignByID(w, r, id)
+		})(w, r)
+	case "artifact":
+		s.instrument("v2_campaign_artifact", false, func(w http.ResponseWriter, r *http.Request) {
+			s.handleCampaignArtifact(w, r, id)
+		})(w, r)
+	case "stream":
+		s.instrument("v2_campaign_stream", false, func(w http.ResponseWriter, r *http.Request) {
+			s.handleCampaignStream(w, r, id)
+		})(w, r)
+	default:
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown campaign subresource %q", sub))
+	}
+}
+
+// handleCampaignByID serves one job: GET status, DELETE cancel.
+func (s *Server) handleCampaignByID(w http.ResponseWriter, r *http.Request, id string) {
+	switch r.Method {
+	case http.MethodGet:
+		st, err := s.jobs.Get(id)
+		if err != nil {
+			jobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	case http.MethodDelete:
+		st, err := s.jobs.Cancel(id)
+		if err != nil {
+			jobError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or DELETE required"))
+	}
+}
+
+// handleCampaignArtifact serves the finished, content-verified results
+// file. The bytes are re-hashed against the artifact's content address
+// on every read, so a torn or tampered file is a 500, never a payload.
+func (s *Server) handleCampaignArtifact(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	data, sum, err := s.jobs.Artifact(id)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("ETag", `"`+sum+`"`)
+	_, _ = w.Write(data)
+}
+
+// handleCampaignStream streams a job's progress over SSE: one "cell"
+// event per completed cell and a final "state" event, each carrying its
+// Seq as the SSE event ID. A reconnecting client sends Last-Event-ID
+// (header, or lastEventId query parameter for plain curl) and receives
+// exactly the missed suffix — the replay comes from the in-memory event
+// log, which survives restarts because it is rebuilt from the
+// checkpoint. The stream ends after the terminal event, on client
+// disconnect, or when graceful shutdown closes streamDone.
+func (s *Server) handleCampaignStream(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	afterSeq := 0
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("lastEventId")
+	}
+	if lastID != "" {
+		n, err := strconv.Atoi(lastID)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("Last-Event-ID must be a non-negative integer, got %q", lastID))
+			return
+		}
+		afterSeq = n
+	}
+
+	replay, live, cancel, err := s.jobs.Subscribe(id, afterSeq)
+	if err != nil {
+		jobError(w, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	// Push the headers out even when there is nothing to replay yet, so
+	// the client observes the stream as open immediately.
+	fl.Flush()
+
+	s.metrics.campaignStreams.Add(1)
+	defer s.metrics.campaignStreams.Add(-1)
+
+	send := func(ev jobs.Event) bool {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, payload); err != nil {
+			return false
+		}
+		fl.Flush()
+		return ev.Type != "state"
+	}
+	for _, ev := range replay {
+		if !send(ev) {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.streamDone:
+			// Graceful shutdown: tell the client the stream is pausing,
+			// not that the job ended — it resumes via Last-Event-ID
+			// against the restarted daemon.
+			_, _ = fmt.Fprintf(w, "event: drain\ndata: {}\n\n")
+			fl.Flush()
+			return
+		case ev, open := <-live:
+			if !open {
+				// Subscriber buffer overflowed and the manager dropped
+				// us; the client reconnects with Last-Event-ID to
+				// re-sync.
+				return
+			}
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}
+
+// jobError maps jobs-package errors onto HTTP statuses.
+func jobError(w http.ResponseWriter, err error) {
+	var gridErr *experiments.GridError
+	switch {
+	case errors.As(err, &gridErr):
+		httpError(w, http.StatusBadRequest, err)
+	case errors.Is(err, jobs.ErrTooManyJobs):
+		httpError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, jobs.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, jobs.ErrNotFound), errors.Is(err, jobs.ErrNoArtifact):
+		httpError(w, http.StatusNotFound, err)
+	case errors.Is(err, jobs.ErrArtifactCorrupt):
+		httpError(w, http.StatusInternalServerError, err)
+	default:
+		httpError(w, http.StatusBadRequest, err)
+	}
+}

@@ -61,6 +61,8 @@ type serverMetrics struct {
 	traces        *telemetry.Counter // wcetd_traces_total
 	slow          *telemetry.Counter // wcetd_slow_requests_total
 	streamClients *telemetry.Gauge   // wcetd_stream_clients
+
+	campaignStreams *telemetry.Gauge // wcetd_campaign_stream_clients
 }
 
 func newServerMetrics() *serverMetrics {
@@ -99,6 +101,8 @@ func newServerMetrics() *serverMetrics {
 			"Requests slower than the configured slow-request threshold."),
 		streamClients: reg.Gauge("wcetd_stream_clients",
 			"Currently connected /v2/stats/stream clients."),
+		campaignStreams: reg.Gauge("wcetd_campaign_stream_clients",
+			"Currently connected /v2/campaigns/{id}/stream clients."),
 	}
 }
 
@@ -135,7 +139,8 @@ func (s *Server) instrument(endpoint string, traceable bool, h http.HandlerFunc)
 
 		elapsed := time.Since(start)
 		s.metrics.latency.With(endpoint).Observe(elapsed)
-		if s.cfg.SlowRequestThreshold > 0 && elapsed >= s.cfg.SlowRequestThreshold && endpoint != "v2_stats_stream" {
+		if s.cfg.SlowRequestThreshold > 0 && elapsed >= s.cfg.SlowRequestThreshold &&
+			endpoint != "v2_stats_stream" && endpoint != "v2_campaign_stream" {
 			s.metrics.slow.Inc()
 			attrs := []any{
 				slog.String("endpoint", endpoint),

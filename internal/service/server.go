@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/calib"
 	"repro/internal/campaign"
+	"repro/internal/jobs"
 	"repro/internal/tabstore"
 	"repro/internal/telemetry"
 	"repro/wcet"
@@ -68,6 +69,16 @@ type Config struct {
 	// seeding, else New panics — a server cannot run without a
 	// characterisation.
 	DefaultTableRef string
+	// JobsDir is the campaign-job persistence root (conventionally next
+	// to the tabstore data dir; cmd/wcetd derives it from -data). Empty
+	// runs jobs in-memory: /v2/campaigns works, but jobs are lost on
+	// restart instead of resuming from their checkpoints.
+	JobsDir string
+	// MaxJobs bounds concurrently active (pending + running) campaign
+	// jobs; <= 0 selects 16. Cells of admitted jobs share the campaign
+	// engine at Background priority, so this caps queued work, not
+	// parallelism.
+	MaxJobs int
 	// SlowRequestThreshold is the latency above which a request is
 	// logged (with its trace) as slow; 0 selects 1 second, negative
 	// disables slow-request logging.
@@ -219,6 +230,9 @@ type Server struct {
 	metrics *serverMetrics
 	logger  *slog.Logger
 
+	// jobs is the campaign-job subsystem behind /v2/campaigns.
+	jobs *jobs.Manager
+
 	// streamDone ends open /v2/stats/stream connections when graceful
 	// shutdown begins, so they cannot hold the drain hostage.
 	streamDone chan struct{}
@@ -295,6 +309,22 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 		streamDone: make(chan struct{}),
 	}
 	s.serving.Store(servingID)
+	// The job manager shares the server's engine, so campaign cells and
+	// interactive traffic drain through one bounded slot pool — jobs at
+	// Background priority. Opening it also resumes any checkpointed jobs
+	// a previous process left unfinished in JobsDir.
+	jm, err := jobs.Open(jobs.Config{
+		Dir:       cfg.JobsDir,
+		MaxActive: cfg.MaxJobs,
+		Engine:    engine,
+		Store:     store,
+		Registry:  reg,
+		Logger:    cfg.Logger,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("service: opening job manager: %v", err))
+	}
+	s.jobs = jm
 	metrics.reg.GaugeFunc("wcetd_queue_depth",
 		"Requests currently waiting for admission.",
 		func() float64 { return float64(s.queued.Load()) })
@@ -310,6 +340,8 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 	mux.HandleFunc("/v2/tables", s.instrument("v2_tables", false, s.handleTables))
 	mux.HandleFunc("/v2/tables/", s.instrument("v2_tables", false, s.handleTableByRef))
 	mux.HandleFunc("/v2/calibrate", s.instrument("v2_calibrate", false, s.handleCalibrate))
+	mux.HandleFunc("/v2/campaigns", s.instrument("v2_campaigns", false, s.handleCampaigns))
+	mux.HandleFunc("/v2/campaigns/", s.routeCampaign)
 	mux.HandleFunc("/v2/stats/stream", s.instrument("v2_stats_stream", false, s.handleStatsStream))
 	mux.HandleFunc("/v2/dashboard", s.instrument("v2_dashboard", false, s.handleDashboard))
 	mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
@@ -353,8 +385,16 @@ func (s *Server) ListenAndServe(addr string) error {
 }
 
 // Shutdown gracefully drains the server: no new connections, in-flight
-// requests run to completion or to ctx's deadline.
-func (s *Server) Shutdown(ctx context.Context) error { return s.httpSrv.Shutdown(ctx) }
+// requests run to completion or to ctx's deadline, and running campaign
+// jobs checkpoint and stop — their persisted state resumes on the next
+// start.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.httpSrv.Shutdown(ctx)
+	if jerr := s.jobs.Close(ctx); err == nil {
+		err = jerr
+	}
+	return err
+}
 
 // StatsSnapshot returns the current counters (what /v1/stats serves),
 // read from the telemetry registry — /v1/stats and /metrics can never

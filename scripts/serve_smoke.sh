@@ -7,6 +7,12 @@
 # check live stats and the /v2/models listing, then SIGTERM and assert a
 # clean (exit 0, drained) shutdown.
 #
+# A second phase exercises the campaign-job durability contract over the
+# wire: start wcetd with a persistent -data dir, submit a 24-cell sweep,
+# SIGKILL the daemon mid-job, restart it over the same dirs, and assert
+# the job resumes from its checkpoint, finishes, and serves an artifact
+# byte-identical to `cmd/experiments -only sweep -json` for the same grid.
+#
 # `make serve-smoke` and CI's wcetd-smoke job both run exactly this.
 set -euo pipefail
 
@@ -219,6 +225,150 @@ echo "serve-smoke: graceful shutdown"
 kill -TERM "$PID"
 # wait returns wcetd's exit status: 0 only if it drained and exited
 # cleanly on SIGTERM rather than being killed by it.
+wait "$PID"
+
+# --- Phase 2: campaign jobs survive SIGKILL ------------------------------
+# A fresh daemon with persistent dirs. -workers 2 leaves exactly one
+# background slot, so the 24-cell job takes long enough to be killed
+# mid-flight deterministically.
+DATA="$(dirname "$BIN")/data"
+WORK="$(dirname "$BIN")"
+
+wait_health() {
+  for _ in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$1" 2>/dev/null; then
+      echo "serve-smoke: wcetd died during startup" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  curl -fsS "http://$ADDR/healthz" >/dev/null
+}
+
+job_status() {
+  curl -fsS "http://$ADDR/v2/campaigns/$JOB_ID"
+}
+
+echo "serve-smoke: campaign submit"
+"$BIN" -addr "$ADDR" -data "$DATA" -workers 2 &
+PID=$!
+wait_health "$PID"
+
+# 2 scenarios x 3 levels x 4 perturbations x 1 model = 24 cells. The
+# perturbations and iteration count are mirrored exactly by the offline
+# cmd/experiments invocation below, which must produce the same bytes.
+submitted=$(curl -fsS -X POST "http://$ADDR/v2/campaigns" -d '{
+  "grid": {
+    "models": ["ftc"],
+    "appIterations": 600,
+    "perturbations": [
+      {},
+      {"name": "up10",   "scalePercent": 110},
+      {"name": "up20",   "scalePercent": 120},
+      {"name": "down10", "scalePercent": 90}
+    ]
+  }
+}')
+echo "$submitted" | grep -q '"totalCells": 24'
+JOB_ID=$(echo "$submitted" | grep -o '"id": "[^"]*"' | head -1 | cut -d'"' -f4)
+if [ -z "$JOB_ID" ]; then
+  echo "serve-smoke: campaign submit returned no job id:" >&2
+  echo "$submitted" >&2
+  exit 1
+fi
+
+# Stream progress concurrently; the capture ends when the daemon is
+# killed, and must contain at least one per-cell SSE event by then.
+STREAM="$WORK/stream.txt"
+(curl -fsS -m 60 -N "http://$ADDR/v2/campaigns/$JOB_ID/stream" >"$STREAM" 2>/dev/null || true) &
+STREAM_PID=$!
+
+echo "serve-smoke: campaign kill -9 mid-job"
+killed_status=""
+for _ in $(seq 1 600); do
+  killed_status=$(job_status)
+  done_cells=$(echo "$killed_status" | grep -o '"doneCells": [0-9]*' | grep -o '[0-9]*' || true)
+  if [ "${done_cells:-0}" -ge 1 ]; then
+    break
+  fi
+  sleep 0.05
+done
+if [ "${done_cells:-0}" -lt 1 ]; then
+  echo "serve-smoke: campaign made no progress before kill:" >&2
+  echo "$killed_status" >&2
+  exit 1
+fi
+# The job must still be running when the daemon dies — that is what makes
+# the restart below a genuine checkpoint resume, not a reload of a done job.
+echo "$killed_status" | grep -q '"state": "running"'
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+wait "$STREAM_PID" 2>/dev/null || true
+grep -q '^event: cell' "$STREAM"
+
+echo "serve-smoke: campaign resume after restart"
+"$BIN" -addr "$ADDR" -data "$DATA" -workers 2 &
+PID=$!
+wait_health "$PID"
+
+# The restarted daemon must have picked the job up from its checkpoint...
+metrics=$(curl -fsS "http://$ADDR/metrics")
+resumed=$(echo "$metrics" | grep '^jobs_resumed_total ' | awk '{print $2}' || true)
+if [ -z "$resumed" ] || [ "$resumed" -lt 1 ]; then
+  echo "serve-smoke: jobs_resumed_total = '$resumed', want >= 1 after restart" >&2
+  exit 1
+fi
+restored=$(echo "$metrics" | grep '^jobs_cells_restored_total ' | awk '{print $2}' || true)
+if [ -z "$restored" ] || [ "$restored" -lt 1 ]; then
+  echo "serve-smoke: jobs_cells_restored_total = '$restored', want >= 1 (checkpointed cells must not re-solve)" >&2
+  exit 1
+fi
+
+# ...and drive it to completion.
+final=""
+for _ in $(seq 1 1200); do
+  final=$(job_status)
+  if echo "$final" | grep -q '"state": "done"'; then
+    break
+  fi
+  if echo "$final" | grep -Eq '"state": "(failed|canceled)"'; then
+    echo "serve-smoke: resumed campaign ended badly:" >&2
+    echo "$final" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "$final" | grep -q '"state": "done"'
+echo "$final" | grep -q '"doneCells": 24'
+
+echo "serve-smoke: campaign stream replay across restart"
+# A full replay (everything after event 0) must deliver all 24 cell
+# events plus the terminal state event, then end the stream on its own.
+replay="$WORK/replay.txt"
+curl -fsS -m 30 -N "http://$ADDR/v2/campaigns/$JOB_ID/stream?lastEventId=0" >"$replay"
+cells=$(grep -c '^event: cell' "$replay" || true)
+if [ "$cells" -ne 24 ]; then
+  echo "serve-smoke: stream replay carried $cells cell events, want 24" >&2
+  exit 1
+fi
+grep -q '^event: state' "$replay"
+grep -q '"state":"done"' "$replay"
+
+echo "serve-smoke: campaign artifact byte-identical to offline sweep"
+curl -fsS "http://$ADDR/v2/campaigns/$JOB_ID/artifact" >"$WORK/artifact.json"
+go run ./cmd/experiments -only sweep -models ftc -app-iterations 600 \
+  -perturb up10:+10,up20:+20,down10:-10 -json "$WORK/reference.json" >/dev/null
+if ! cmp -s "$WORK/artifact.json" "$WORK/reference.json"; then
+  echo "serve-smoke: resumed campaign artifact differs from the offline sweep" >&2
+  diff "$WORK/artifact.json" "$WORK/reference.json" | head -20 >&2 || true
+  exit 1
+fi
+
+echo "serve-smoke: campaign daemon graceful shutdown"
+kill -TERM "$PID"
 wait "$PID"
 
 echo "serve-smoke: OK"
