@@ -59,8 +59,9 @@ serve-smoke:
 	bash scripts/serve_smoke.sh
 
 # lint = vet + gofmt diff check (fails if any file needs formatting) +
-# staticcheck. staticcheck is skipped with a notice when the binary is not
-# on PATH (the offline dev container); CI installs it and always runs it.
+# metric-naming conventions + staticcheck. staticcheck is skipped with a
+# notice when the binary is not on PATH (the offline dev container); CI
+# installs it and always runs it.
 lint:
 	$(GO) vet ./...
 	@unformatted=$$(gofmt -l .); \
@@ -69,6 +70,7 @@ lint:
 		echo "$$unformatted" >&2; \
 		exit 1; \
 	fi
+	bash scripts/metrics_lint.sh
 	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
 		$(STATICCHECK) ./...; \
 	else \

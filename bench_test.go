@@ -464,6 +464,36 @@ func BenchmarkEvaluationCampaign(b *testing.B) {
 	b.ReportMetric(float64(stats.IsolationHits), "memo_hits")
 }
 
+// benchServeConfig turns on the observability costs a production daemon
+// pays — persisted metrics history on a fast cadence and a slow-request
+// threshold low enough that tail sampling stores a trace for essentially
+// every request — so the serving benchmarks gate the instrumented path,
+// not an idealized one. The logger is leveled above Warn: with a
+// microsecond threshold every request is "slow", and formatting a
+// slow-request warning per request would measure the logger, not the
+// server.
+func benchServeConfig(b *testing.B, cfg service.Config) service.Config {
+	cfg.ObsDir = b.TempDir()
+	cfg.HistoryInterval = 250 * time.Millisecond
+	cfg.SlowRequestThreshold = time.Microsecond
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError}))
+	return cfg
+}
+
+// shutdownAfter stops the server once the benchmark (including its
+// reporting) is done. Leaking servers across samples would let each
+// abandoned history sampler keep snapshotting and evaluating SLOs on
+// its 250ms tick, silently taxing every later benchmark in the run.
+func shutdownAfter(b *testing.B, srv *service.Server) {
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			b.Error(err)
+		}
+	})
+}
+
 // BenchmarkWCETServiceBatch drives the wcetd serving layer end to end:
 // concurrent 16-request batches, drawn from a small pool of distinct
 // queries, against one server — the OEM integration stream the service
@@ -471,9 +501,10 @@ func BenchmarkEvaluationCampaign(b *testing.B) {
 // canonical-request cache hit rate (duplicate submissions must be served
 // without re-solving the ILP).
 func BenchmarkWCETServiceBatch(b *testing.B) {
-	srv := service.New(service.Config{MaxInFlight: 256, QueueDepth: 1024}, nil)
+	srv := service.New(benchServeConfig(b, service.Config{MaxInFlight: 256, QueueDepth: 1024}), nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	shutdownAfter(b, srv)
 
 	batch := service.BatchRequest{}
 	for j := 0; j < 16; j++ {
@@ -523,9 +554,10 @@ func BenchmarkWCETServiceBatch(b *testing.B) {
 // cache exists for — run with -cpu 1,2,4 to see the single-mutex ceiling
 // it replaced.
 func BenchmarkCacheHitParallel(b *testing.B) {
-	srv := service.New(service.Config{MaxInFlight: 256, QueueDepth: 1024}, nil)
+	srv := service.New(benchServeConfig(b, service.Config{MaxInFlight: 256, QueueDepth: 1024}), nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	shutdownAfter(b, srv)
 
 	body, err := json.Marshal(service.Request{
 		Scenario: 1,
@@ -710,13 +742,14 @@ func BenchmarkCampaignJob(b *testing.B) {
 // eviction, shard routing) and the solver pool under contention, not
 // just shard reads.
 func BenchmarkServeSaturated(b *testing.B) {
-	srv := service.New(service.Config{
+	srv := service.New(benchServeConfig(b, service.Config{
 		MaxInFlight:   256,
 		QueueDepth:    1024,
 		SolverWorkers: runtime.GOMAXPROCS(0),
-	}, nil)
+	}), nil)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
+	shutdownAfter(b, srv)
 
 	const pool = 64
 	bodies := make([][]byte, pool)

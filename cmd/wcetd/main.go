@@ -31,7 +31,15 @@
 //	GET  /v2/campaigns/{id}/stream    per-cell progress over SSE
 //	                (Last-Event-ID resumes after a disconnect or restart)
 //	DELETE /v2/campaigns/{id}         cancel
-//	GET  /healthz   liveness
+//	GET  /v2/metrics/history?series=&from=&to=&step=  retained metrics
+//	                history (checksummed on-disk ring under <data>/obs,
+//	                tiered raw → 10s → 1m downsampling, survives kill -9)
+//	GET  /v2/alerts active and recently resolved SLO burn-rate alerts
+//	GET  /v2/traces?endpoint=&min_ms=&since=  stored trace search
+//	                (client-requested traces plus tail-sampled slow and
+//	                error requests)
+//	GET  /v2/traces/{id}  one stored trace's span tree
+//	GET  /healthz   liveness, build identity and uptime
 //
 // Campaign jobs checkpoint every completed cell under -jobs-dir
 // (default: <data>/jobs) and resume from the checkpoint after a crash
@@ -65,6 +73,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/service"
 	"repro/internal/tabstore"
 	"repro/wcet"
@@ -85,7 +94,11 @@ func main() {
 	maxJobs := flag.Int("max-jobs", 16, "maximum concurrently admitted campaign jobs")
 	tableRef := flag.String("table", "tc27x/default", "table ref to serve under at startup")
 	slowReq := flag.Duration("slow-request", time.Second, "log requests slower than this with their trace (negative disables)")
-	ops := flag.Bool("ops", false, "expose net/http/pprof under /debug/pprof/")
+	ops := flag.Bool("ops", false, "expose net/http/pprof under /debug/pprof/ and run the continuous profiler")
+	obsDir := flag.String("obs-dir", "", "observability persistence directory for metrics history, stored traces and profiles (empty: <data>/obs, or in-memory when -data is empty too)")
+	historyInterval := flag.Duration("history-interval", 5*time.Second, "metrics-history sampling cadence")
+	sloConfig := flag.String("slo-config", "", "JSON file defining SLO objectives (empty: built-in defaults)")
+	traceEntries := flag.Int("trace-store", 512, "stored-trace retention (entries)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
 
@@ -100,10 +113,20 @@ func main() {
 	if err != nil {
 		fail(logger, err)
 	}
-	// Campaign jobs persist next to the table store by default, so one
-	// -data flag gives the whole daemon durable state.
+	// Campaign jobs and observability state persist next to the table
+	// store by default, so one -data flag gives the whole daemon durable
+	// state.
 	if *jobsDir == "" && *dataDir != "" {
 		*jobsDir = filepath.Join(*dataDir, "jobs")
+	}
+	if *obsDir == "" && *dataDir != "" {
+		*obsDir = filepath.Join(*dataDir, "obs")
+	}
+	var objectives []obs.Objective
+	if *sloConfig != "" {
+		if objectives, err = obs.LoadObjectives(*sloConfig); err != nil {
+			fail(logger, fmt.Errorf("-slo-config: %w", err))
+		}
 	}
 	// The service seeds "tc27x/default" itself; any other startup ref
 	// must already exist in the store — fail with a usage error rather
@@ -130,6 +153,10 @@ func main() {
 		SlowRequestThreshold: *slowReq,
 		Logger:               logger,
 		EnableOps:            *ops,
+		ObsDir:               *obsDir,
+		HistoryInterval:      *historyInterval,
+		SLOObjectives:        objectives,
+		TraceStoreEntries:    *traceEntries,
 	}, nil)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -144,8 +171,16 @@ func main() {
 	} else {
 		logger.Info("campaign jobs in-memory (no -data/-jobs-dir)", "maxJobs", *maxJobs)
 	}
+	if *obsDir != "" {
+		logger.Info("observability persisted", "dir", *obsDir, "historyInterval", *historyInterval, "traceStore", *traceEntries)
+	} else {
+		logger.Info("observability in-memory (no -data/-obs-dir)", "historyInterval", *historyInterval)
+	}
+	if *sloConfig != "" {
+		logger.Info("slo objectives loaded", "path", *sloConfig, "count", len(objectives))
+	}
 	if *ops {
-		logger.Info("pprof enabled", "path", "/debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/", "profiler", *obsDir != "")
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

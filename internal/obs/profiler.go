@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Profiler captures CPU and heap pprof snapshots into a bounded ring
+// directory: on a timer, and immediately when triggered (the server
+// triggers it on SLO burn), so the profile from an incident exists
+// without an operator attached. Files are named
+// <kind>-<unix-ms>-<reason>.pprof; the oldest beyond the ring bound are
+// deleted after each capture.
+type Profiler struct {
+	dir      string
+	interval time.Duration
+	cpuDur   time.Duration
+	maxFiles int
+	logger   *slog.Logger
+
+	mu        sync.Mutex // serializes captures (one CPU profile at a time)
+	capturing bool
+
+	trigger chan string
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+// NewProfiler builds a profiler writing into dir. interval is the
+// periodic capture cadence (minimum 10s); maxFiles bounds the ring
+// (minimum 4). The profiler is idle until Start.
+func NewProfiler(dir string, interval time.Duration, maxFiles int, logger *slog.Logger) (*Profiler, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: creating profile dir: %w", err)
+	}
+	if interval < 10*time.Second {
+		interval = 10 * time.Second
+	}
+	if maxFiles < 4 {
+		maxFiles = 4
+	}
+	if logger == nil {
+		logger = slog.Default()
+	}
+	return &Profiler{
+		dir:      dir,
+		interval: interval,
+		cpuDur:   2 * time.Second,
+		maxFiles: maxFiles,
+		logger:   logger,
+		trigger:  make(chan string, 4),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the capture loop.
+func (p *Profiler) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		tick := time.NewTicker(p.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-tick.C:
+				p.Capture("periodic")
+			case reason := <-p.trigger:
+				p.Capture(reason)
+			}
+		}
+	}()
+}
+
+// TriggerBurn requests an immediate capture tagged with reason (an SLO
+// name); never blocks — a capture already in flight covers the incident.
+func (p *Profiler) TriggerBurn(reason string) {
+	select {
+	case p.trigger <- "burn-" + sanitizeReason(reason):
+	default:
+	}
+}
+
+// sanitizeReason keeps profile filenames shell- and glob-safe.
+func sanitizeReason(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && i < 40; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Capture takes one CPU profile (cpuDur long) and one heap snapshot,
+// then reclaims the ring. A capture already in progress (including an
+// external `go tool pprof` holding the CPU profiler) downgrades to a
+// heap-only snapshot rather than failing.
+func (p *Profiler) Capture(reason string) {
+	p.mu.Lock()
+	if p.capturing {
+		p.mu.Unlock()
+		return
+	}
+	p.capturing = true
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.capturing = false
+		p.mu.Unlock()
+	}()
+
+	stamp := time.Now().UnixMilli()
+	cpuPath := filepath.Join(p.dir, fmt.Sprintf("cpu-%d-%s.pprof", stamp, reason))
+	if f, err := os.Create(cpuPath); err == nil {
+		if err := pprof.StartCPUProfile(f); err != nil {
+			// Someone else (an attached operator) owns the CPU profiler;
+			// their capture covers the window.
+			f.Close()
+			os.Remove(cpuPath)
+		} else {
+			select {
+			case <-time.After(p.cpuDur):
+			case <-p.done:
+			}
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	} else {
+		p.logger.Warn("profiler cpu capture failed", "err", err)
+	}
+
+	heapPath := filepath.Join(p.dir, fmt.Sprintf("heap-%d-%s.pprof", stamp, reason))
+	if f, err := os.Create(heapPath); err == nil {
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			p.logger.Warn("profiler heap capture failed", "err", err)
+		}
+		f.Close()
+	} else {
+		p.logger.Warn("profiler heap capture failed", "err", err)
+	}
+
+	p.reclaim()
+}
+
+// reclaim deletes the oldest profiles beyond the ring bound, ordering by
+// the embedded capture timestamp so cpu/heap pairs age out together.
+func (p *Profiler) reclaim() {
+	names, err := filepath.Glob(filepath.Join(p.dir, "*.pprof"))
+	if err != nil || len(names) <= p.maxFiles {
+		return
+	}
+	stamp := func(name string) string {
+		parts := strings.SplitN(filepath.Base(name), "-", 3)
+		if len(parts) < 2 {
+			return ""
+		}
+		return fmt.Sprintf("%020s", parts[1])
+	}
+	sort.Slice(names, func(i, j int) bool { return stamp(names[i]) < stamp(names[j]) })
+	for _, name := range names[:len(names)-p.maxFiles] {
+		_ = os.Remove(name)
+	}
+}
+
+// Close stops the loop and waits for any in-flight capture.
+func (p *Profiler) Close() {
+	select {
+	case <-p.done:
+	default:
+		close(p.done)
+	}
+	p.wg.Wait()
+}

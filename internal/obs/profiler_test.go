@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestProfilerCaptureAndReclaim(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(dir, time.Hour, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cpuDur = 10 * time.Millisecond
+	defer p.Close()
+
+	p.Capture("test")
+	names, _ := filepath.Glob(filepath.Join(dir, "*.pprof"))
+	if len(names) != 2 {
+		t.Fatalf("capture wrote %d files, want cpu+heap", len(names))
+	}
+
+	// Ring bound: repeated captures must not grow past maxFiles.
+	for i := 0; i < 4; i++ {
+		time.Sleep(2 * time.Millisecond) // distinct stamps
+		p.Capture("more")
+	}
+	names, _ = filepath.Glob(filepath.Join(dir, "*.pprof"))
+	if len(names) > 4 {
+		t.Fatalf("ring kept %d files, want <= 4", len(names))
+	}
+}
+
+func TestProfilerTriggerBurn(t *testing.T) {
+	dir := t.TempDir()
+	p, err := NewProfiler(dir, time.Hour, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.cpuDur = 10 * time.Millisecond
+	p.Start()
+	defer p.Close()
+
+	p.TriggerBurn("latency p99/page!")
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		names, _ := filepath.Glob(filepath.Join(dir, "*burn-latency_p99_page_.pprof"))
+		if len(names) >= 2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	names, _ := filepath.Glob(filepath.Join(dir, "*.pprof"))
+	t.Fatalf("burn capture never landed; dir has %v", names)
+}

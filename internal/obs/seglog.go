@@ -1,0 +1,241 @@
+// Package obs is wcetd's forensic layer: it gives the live telemetry in
+// internal/telemetry a memory. Four pieces share one durability idiom —
+// the checksummed append-only line log with torn-tail truncation that
+// internal/jobs proved out for campaign checkpoints:
+//
+//   - TSDB: an on-disk metrics time-series store. Every sampling tick the
+//     server appends its full registry snapshot; tiered downsampling
+//     (raw → 10s → 1m) and bounded retention keep both disk and memory
+//     flat while holding enough history for multi-day SLO windows.
+//   - Engine: a declarative SLO engine evaluating multi-window burn rates
+//     (fast 5m/1h, slow 6h/3d) against the TSDB and surfacing alerts.
+//   - TraceStore: a bounded on-disk ring of finished request traces
+//     (client-requested, slow and error requests via tail-sampling),
+//     searchable by endpoint/duration/time and retrievable by ID.
+//   - Profiler: continuous CPU/heap pprof capture into a ring directory,
+//     on a timer and immediately when an SLO starts burning — so the
+//     profile from the incident exists without an operator attached.
+//
+// Everything survives kill -9: segment files are scanned on startup and
+// cut back to their last verifiable line, exactly like job checkpoints.
+package obs
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segRecord is one verified line read back from a segment log.
+type segRecord struct {
+	T    int64
+	Data json.RawMessage
+}
+
+// segLine is the wire form of one appended record: a timestamp, an
+// opaque JSON payload, and a checksum binding the two. The checksum
+// makes "did this line land intact?" a local decision — a torn append,
+// a truncated tail or a flipped byte fails verification and the log is
+// cut back to its last good prefix.
+type segLine struct {
+	T    int64           `json:"t"`
+	Data json.RawMessage `json:"d"`
+	Sum  string          `json:"sum"`
+}
+
+// segSum checksums a record: SHA-256 over "<t>:<data bytes>".
+func segSum(t int64, data []byte) string {
+	h := sha256.New()
+	h.Write([]byte(strconv.FormatInt(t, 10)))
+	h.Write([]byte{':'})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// maxSegLine bounds one record; a full metrics snapshot or span tree is
+// tens of kilobytes, so a few megabytes of slack is generous.
+const maxSegLine = 4 << 20
+
+// segLog is an append-only, checksummed, segmented line log — the
+// storage primitive under the metrics TSDB and the trace store. Records
+// append to the active segment; when it reaches maxLines the log rotates
+// to a fresh segment and deletes the oldest beyond maxSegs, giving ring
+// semantics with O(1) reclamation. A nil *segLog (memory-only mode)
+// accepts appends and drops them.
+//
+// segLog is not itself synchronized; callers hold their own lock across
+// append and close.
+type segLog struct {
+	dir      string
+	prefix   string
+	maxLines int
+	maxSegs  int
+
+	f     *os.File
+	lines int
+	seq   int      // sequence number of the active segment
+	segs  []string // on-disk segment paths, oldest first (incl. active)
+}
+
+// segPath renders a segment file name; the zero-padded sequence number
+// keeps lexical order equal to append order.
+func (l *segLog) segPath(seq int) string {
+	return filepath.Join(l.dir, fmt.Sprintf("%s-%08d.jsonl", l.prefix, seq))
+}
+
+// openSegLog opens (creating if needed) the segment log in dir and loads
+// every verifiable record, oldest first. The tail of the final segment is
+// truncated past its last good line so appends resume on a clean prefix;
+// unverifiable suffixes of older segments are skipped. dropped counts
+// discarded lines/fragments (diagnostics).
+func openSegLog(dir, prefix string, maxLines, maxSegs int) (l *segLog, records []segRecord, dropped int, err error) {
+	if maxLines < 1 {
+		maxLines = 1
+	}
+	if maxSegs < 2 {
+		maxSegs = 2
+	}
+	l = &segLog{dir: dir, prefix: prefix, maxLines: maxLines, maxSegs: maxSegs}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, 0, fmt.Errorf("obs: creating %s: %w", dir, err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, prefix+"-*.jsonl"))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("obs: listing segments: %w", err)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		recs, good, drop, err := loadSegment(name)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		records = append(records, recs...)
+		dropped += drop
+		last := i == len(names)-1
+		if last {
+			// Cut the torn/tampered tail off the active segment so the
+			// next append lands after a verified line.
+			if fi, statErr := os.Stat(name); statErr == nil && fi.Size() > good {
+				if err := os.Truncate(name, good); err != nil {
+					return nil, nil, 0, fmt.Errorf("obs: truncating %s: %w", name, err)
+				}
+			}
+			l.lines = len(recs)
+			l.seq = segSeq(name, prefix)
+		}
+		l.segs = append(l.segs, name)
+	}
+	if len(l.segs) > 0 {
+		f, err := os.OpenFile(l.segs[len(l.segs)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, 0, fmt.Errorf("obs: opening active segment: %w", err)
+		}
+		l.f = f
+	}
+	return l, records, dropped, nil
+}
+
+// segSeq parses the sequence number out of a segment path; malformed
+// names (which Glob cannot produce) sort as zero.
+func segSeq(path, prefix string) int {
+	base := strings.TrimSuffix(filepath.Base(path), ".jsonl")
+	n, _ := strconv.Atoi(strings.TrimPrefix(base, prefix+"-"))
+	return n
+}
+
+// loadSegment reads one segment, verifying every line, stopping at the
+// first unverifiable one. good is the byte offset past the last verified
+// line.
+func loadSegment(path string) (recs []segRecord, good int64, dropped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("obs: opening %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 64*1024)
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		if rerr != nil {
+			// io.EOF with no partial data: clean end. A final unterminated
+			// fragment or a read error is an unverifiable tail.
+			if len(raw) > 0 || rerr != io.EOF {
+				dropped++
+			}
+			return recs, good, dropped, nil
+		}
+		line := raw[:len(raw)-1]
+		var sl segLine
+		if len(raw) > maxSegLine ||
+			json.Unmarshal(line, &sl) != nil ||
+			sl.Sum != segSum(sl.T, sl.Data) {
+			dropped++
+			return recs, good, dropped, nil
+		}
+		recs = append(recs, segRecord{T: sl.T, Data: sl.Data})
+		good += int64(len(raw))
+	}
+}
+
+// append writes one record to the active segment, rotating and reclaiming
+// old segments as needed. A nil or memory-only log drops the record.
+func (l *segLog) append(t int64, data []byte) error {
+	if l == nil || l.dir == "" {
+		return nil
+	}
+	if l.f == nil || l.lines >= l.maxLines {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	line, err := json.Marshal(segLine{T: t, Data: data, Sum: segSum(t, data)})
+	if err != nil {
+		return fmt.Errorf("obs: encoding record: %w", err)
+	}
+	if _, err := l.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("obs: appending record: %w", err)
+	}
+	l.lines++
+	return nil
+}
+
+// rotate closes the active segment, opens the next one, and deletes the
+// oldest segments beyond the retention bound.
+func (l *segLog) rotate() error {
+	if l.f != nil {
+		_ = l.f.Sync()
+		_ = l.f.Close()
+		l.f = nil
+	}
+	l.seq++
+	path := l.segPath(l.seq)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: creating segment %s: %w", path, err)
+	}
+	l.f = f
+	l.lines = 0
+	l.segs = append(l.segs, path)
+	for len(l.segs) > l.maxSegs {
+		_ = os.Remove(l.segs[0])
+		l.segs = l.segs[1:]
+	}
+	return nil
+}
+
+// close syncs and closes the active segment.
+func (l *segLog) close() {
+	if l == nil || l.f == nil {
+		return
+	}
+	_ = l.f.Sync()
+	_ = l.f.Close()
+	l.f = nil
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSegLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs, dropped, err := openSegLog(dir, "seg", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 || dropped != 0 {
+		t.Fatalf("fresh log: recs=%d dropped=%d", len(recs), dropped)
+	}
+	for i := 0; i < 6; i++ {
+		if err := l.append(int64(i), []byte(fmt.Sprintf(`{"i":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.close()
+
+	_, recs, dropped, err = openSegLog(dir, "seg", 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped = %d, want 0", dropped)
+	}
+	if len(recs) != 6 {
+		t.Fatalf("len(recs) = %d, want 6", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.T != int64(i) {
+			t.Fatalf("rec[%d].T = %d", i, rec.T)
+		}
+	}
+}
+
+func TestSegLogTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := openSegLog(dir, "seg", 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.append(int64(i), []byte(`{"v":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.close()
+
+	// Simulate a torn append: a partial line with no newline.
+	seg := filepath.Join(dir, "seg-00000001.jsonl")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"t":99,"d":{"v":`)
+	f.Close()
+	before, _ := os.Stat(seg)
+
+	l2, recs, dropped, err := openSegLog(dir, "seg", 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("len(recs) = %d, want 3 (torn tail dropped)", len(recs))
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	after, _ := os.Stat(seg)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", before.Size(), after.Size())
+	}
+	// Appends resume cleanly on the truncated file.
+	if err := l2.append(100, []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	l2.close()
+	_, recs, _, err = openSegLog(dir, "seg", 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 || recs[3].T != 100 {
+		t.Fatalf("after resume: %d recs, last T %d", len(recs), recs[len(recs)-1].T)
+	}
+}
+
+func TestSegLogCorruptMiddleStopsSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := openSegLog(dir, "seg", 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.append(int64(i), []byte(`{"v":1}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.close()
+
+	// Flip a byte inside the second line's checksum region.
+	seg := filepath.Join(dir, "seg-00000001.jsonl")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, dropped, err := openSegLog(dir, "seg", 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) >= 3 {
+		t.Fatalf("corrupt line not dropped: %d recs", len(recs))
+	}
+	if dropped == 0 {
+		t.Fatal("dropped = 0, want > 0")
+	}
+}
+
+func TestSegLogRingReclaims(t *testing.T) {
+	dir := t.TempDir()
+	l, _, _, err := openSegLog(dir, "seg", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.append(int64(i), []byte(`{}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.close()
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.jsonl"))
+	if len(names) > 2 {
+		t.Fatalf("ring kept %d segments, want <= 2", len(names))
+	}
+	_, recs, _, err := openSegLog(dir, "seg", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the newest records survive, and the newest of all is present.
+	if len(recs) == 0 || recs[len(recs)-1].T != 9 {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestSegLogNilAndMemoryOnly(t *testing.T) {
+	var l *segLog
+	if err := l.append(1, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	l.close()
+	mem := &segLog{}
+	if err := mem.append(1, []byte(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	mem.close()
+}

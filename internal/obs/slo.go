@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Objective is one declarative service-level objective. Kinds:
+//
+//   - "availability": good-event fraction. Bad and Total name counter
+//     series (patterns; trailing '*' sums a family); the bad fraction
+//     over a window is increase(Bad)/increase(Total).
+//   - "latency": a sampled quantile gauge (Series, e.g.
+//     `wcetd_request_seconds{endpoint="v1_wcet"}_p99`) must stay at or
+//     under TargetSeconds; the bad fraction is the fraction of retained
+//     samples in the window above the target. (Snapshot quantiles are
+//     lifetime estimates sampled over time, not per-window recomputes —
+//     a deliberate trade documented in docs/OBSERVABILITY.md.)
+//   - "rate_min": a counter (Series) must grow at ≥ RatePerSecond over
+//     the window; the bad fraction is 1 when it does not, 0 when it
+//     does. When ActivityGate names a gauge series, windows where the
+//     gate never rose above zero are skipped entirely (a throughput SLO
+//     on campaign cells should not page because no jobs were queued).
+//
+// Goal is the good fraction the objective promises (0.999 = three
+// nines); the error budget is 1-Goal and a burn rate of B means the
+// budget is being consumed B times faster than it can sustain.
+type Objective struct {
+	Name string  `json:"name"`
+	Kind string  `json:"kind"`
+	Goal float64 `json:"goal"`
+
+	Bad   []string `json:"bad,omitempty"`
+	Total []string `json:"total,omitempty"`
+
+	Series        string  `json:"series,omitempty"`
+	TargetSeconds float64 `json:"targetSeconds,omitempty"`
+
+	RatePerSecond float64 `json:"ratePerSecond,omitempty"`
+	ActivityGate  string  `json:"activityGate,omitempty"`
+
+	// MinEvents suppresses evaluation until a window saw at least this
+	// many total events (availability kinds only): two requests at boot
+	// must not page three-nines availability.
+	MinEvents float64 `json:"minEvents,omitempty"`
+
+	// FastBurn and SlowBurn override the firing thresholds of the two
+	// window pairs; 0 selects the defaults (14.4 and 1).
+	FastBurn float64 `json:"fastBurn,omitempty"`
+	SlowBurn float64 `json:"slowBurn,omitempty"`
+}
+
+// Validate rejects malformed objectives with a field-specific error.
+func (o Objective) Validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("obs: objective missing name")
+	}
+	if o.Goal <= 0 || o.Goal >= 1 {
+		return fmt.Errorf("obs: objective %q: goal must be in (0,1), got %g", o.Name, o.Goal)
+	}
+	switch o.Kind {
+	case "availability":
+		if len(o.Bad) == 0 || len(o.Total) == 0 {
+			return fmt.Errorf("obs: objective %q: availability needs bad and total series", o.Name)
+		}
+	case "latency":
+		if o.Series == "" || o.TargetSeconds <= 0 {
+			return fmt.Errorf("obs: objective %q: latency needs series and targetSeconds", o.Name)
+		}
+	case "rate_min":
+		if o.Series == "" || o.RatePerSecond <= 0 {
+			return fmt.Errorf("obs: objective %q: rate_min needs series and ratePerSecond", o.Name)
+		}
+	default:
+		return fmt.Errorf("obs: objective %q: unknown kind %q", o.Name, o.Kind)
+	}
+	return nil
+}
+
+// DefaultObjectives is the built-in SLO set a bare wcetd runs under:
+// request availability, interactive p99 latency, result-cache hit rate
+// and campaign-cell throughput (gated on jobs actually being active).
+func DefaultObjectives() []Objective {
+	return []Objective{
+		{
+			Name: "availability", Kind: "availability", Goal: 0.999,
+			Bad:       []string{"wcetd_rejected_overload_total", "wcetd_canceled_total"},
+			Total:     []string{"wcetd_accepted_total", "wcetd_rejected_overload_total"},
+			MinEvents: 10,
+		},
+		{
+			Name: "latency-p99-v1-wcet", Kind: "latency", Goal: 0.99,
+			Series:        `wcetd_request_seconds{endpoint="v1_wcet"}_p99`,
+			TargetSeconds: 1.0,
+		},
+		{
+			Name: "cache-hit-rate", Kind: "availability", Goal: 0.25,
+			Bad:       []string{"wcetd_cache_misses_total"},
+			Total:     []string{"wcetd_cache_hits_total", "wcetd_cache_misses_total"},
+			MinEvents: 100,
+		},
+		{
+			Name: "job-throughput", Kind: "rate_min", Goal: 0.99,
+			Series:        "jobs_cells_solved_total",
+			RatePerSecond: 1.0 / 60,
+			ActivityGate:  "jobs_active",
+		},
+	}
+}
+
+// LoadObjectives reads a {"objectives": [...]} JSON config file and
+// validates every entry.
+func LoadObjectives(path string) ([]Objective, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading SLO config: %w", err)
+	}
+	var cfg struct {
+		Objectives []Objective `json:"objectives"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("obs: parsing SLO config %s: %w", path, err)
+	}
+	if len(cfg.Objectives) == 0 {
+		return nil, fmt.Errorf("obs: SLO config %s defines no objectives", path)
+	}
+	seen := make(map[string]bool)
+	for _, o := range cfg.Objectives {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[o.Name] {
+			return nil, fmt.Errorf("obs: duplicate objective %q", o.Name)
+		}
+		seen[o.Name] = true
+	}
+	return cfg.Objectives, nil
+}
+
+// burnRule is one multi-window burn-rate rule: fire when both the short
+// and the long window burn at or above the threshold. The short window
+// makes the alert fast to fire and fast to resolve; the long window
+// keeps a brief blip from paging.
+type burnRule struct {
+	severity     string
+	short, long  time.Duration
+	defaultBurn  float64
+	overrideBurn func(Objective) float64
+}
+
+// The canonical multi-window pairs: a paging rule on 5m/1h at 14.4×
+// (exhausts a 30-day budget in ~2 days) and a ticket rule on 6h/3d at
+// 1× (budget exactly on track to exhaust).
+var burnRules = []burnRule{
+	{severity: "page", short: 5 * time.Minute, long: time.Hour, defaultBurn: 14.4,
+		overrideBurn: func(o Objective) float64 { return o.FastBurn }},
+	{severity: "ticket", short: 6 * time.Hour, long: 72 * time.Hour, defaultBurn: 1,
+		overrideBurn: func(o Objective) float64 { return o.SlowBurn }},
+}
+
+// Alert is one firing (or recently resolved) SLO alert.
+type Alert struct {
+	SLO      string `json:"slo"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+	// SinceUnixMs is when the alert started firing.
+	SinceUnixMs int64 `json:"sinceUnixMs"`
+	// ResolvedUnixMs is set only on resolved alerts returned in history.
+	ResolvedUnixMs int64 `json:"resolvedUnixMs,omitempty"`
+	// BurnShort/BurnLong are the burn rates of the rule's two windows at
+	// the last evaluation; Threshold is what they must both reach.
+	BurnShort   float64 `json:"burnShort"`
+	BurnLong    float64 `json:"burnLong"`
+	Threshold   float64 `json:"threshold"`
+	WindowShort string  `json:"windowShort"`
+	WindowLong  string  `json:"windowLong"`
+}
+
+// Engine evaluates a set of objectives against a TSDB and tracks alert
+// state across evaluations. Safe for concurrent use.
+type Engine struct {
+	db         *TSDB
+	objectives []Objective
+
+	mu       sync.Mutex
+	active   map[string]*Alert // keyed "slo/severity"
+	resolved []Alert           // most recent last, bounded
+	onFire   func(Alert)
+}
+
+// NewEngine builds an engine over db. onFire (may be nil) is invoked,
+// without the engine lock held, for each alert transition into the
+// firing state — the server fans it out to logs, SSE streams and the
+// profiler.
+func NewEngine(db *TSDB, objectives []Objective, onFire func(Alert)) (*Engine, error) {
+	if objectives == nil {
+		objectives = DefaultObjectives()
+	}
+	for _, o := range objectives {
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Engine{
+		db:         db,
+		objectives: append([]Objective(nil), objectives...),
+		active:     make(map[string]*Alert),
+		onFire:     onFire,
+	}, nil
+}
+
+// Objectives returns the configured objective set.
+func (e *Engine) Objectives() []Objective {
+	return append([]Objective(nil), e.objectives...)
+}
+
+// badFraction evaluates an objective's bad-event fraction over
+// [from, to]; ok is false when the window lacks data (or is gated off).
+func (e *Engine) badFraction(o Objective, from, to int64) (frac float64, ok bool) {
+	switch o.Kind {
+	case "availability":
+		total, tok := e.db.Increase(sumPattern(o.Total), from, to)
+		if !tok || total <= 0 || total < o.MinEvents {
+			return 0, false
+		}
+		bad, _ := e.db.Increase(sumPattern(o.Bad), from, to)
+		if bad > total {
+			bad = total
+		}
+		return bad / total, true
+	case "latency":
+		return e.db.ViolationFraction(o.Series, from, to, func(v float64) bool {
+			return v > o.TargetSeconds
+		})
+	case "rate_min":
+		if o.ActivityGate != "" {
+			if max, ok := e.db.Max(o.ActivityGate, from, to); !ok || max <= 0 {
+				return 0, false
+			}
+		}
+		inc, ok := e.db.Increase(o.Series, from, to)
+		if !ok {
+			return 0, false
+		}
+		if inc/(float64(to-from)/1000) < o.RatePerSecond {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// sumPattern joins a series list into one queryable pattern; the TSDB
+// sums the union of matches of a NUL-joined multi-pattern.
+func sumPattern(series []string) string {
+	if len(series) == 1 {
+		return series[0]
+	}
+	return multiPattern(series)
+}
+
+// Evaluate recomputes every objective's burn rates at now (unix
+// milliseconds), fires and resolves alerts, and returns the active set.
+// Windows that start before the store's oldest sample are clamped to
+// the available history — a young store can still fire on a violent
+// burn, it just cannot vouch for days it never saw.
+func (e *Engine) Evaluate(now int64) []Alert {
+	var fired []Alert
+	e.mu.Lock()
+	for _, o := range e.objectives {
+		budget := 1 - o.Goal
+		for _, rule := range burnRules {
+			threshold := rule.defaultBurn
+			if ov := rule.overrideBurn(o); ov > 0 {
+				threshold = ov
+			}
+			key := o.Name + "/" + rule.severity
+			burnShort, okS := e.burn(o, budget, now, rule.short)
+			burnLong, okL := e.burn(o, budget, now, rule.long)
+			firing := okS && okL && burnShort >= threshold && burnLong >= threshold
+			cur, wasFiring := e.active[key]
+			switch {
+			case firing && !wasFiring:
+				a := &Alert{
+					SLO: o.Name, Severity: rule.severity,
+					SinceUnixMs: now,
+					BurnShort:   burnShort, BurnLong: burnLong, Threshold: threshold,
+					WindowShort: rule.short.String(), WindowLong: rule.long.String(),
+					Message: fmt.Sprintf("SLO %s burning at %.1fx/%.1fx budget (threshold %gx over %s/%s)",
+						o.Name, burnShort, burnLong, threshold, rule.short, rule.long),
+				}
+				e.active[key] = a
+				fired = append(fired, *a)
+			case firing:
+				cur.BurnShort, cur.BurnLong = burnShort, burnLong
+			case wasFiring:
+				cur.ResolvedUnixMs = now
+				e.resolved = append(e.resolved, *cur)
+				if len(e.resolved) > 64 {
+					e.resolved = e.resolved[len(e.resolved)-64:]
+				}
+				delete(e.active, key)
+			}
+		}
+	}
+	out := e.activeLocked()
+	onFire := e.onFire
+	e.mu.Unlock()
+	if onFire != nil {
+		for _, a := range fired {
+			onFire(a)
+		}
+	}
+	return out
+}
+
+// burn computes one window's burn rate ending at now.
+func (e *Engine) burn(o Objective, budget float64, now int64, window time.Duration) (float64, bool) {
+	from := now - window.Milliseconds()
+	if oldest := e.db.OldestUnixMs(); oldest > from {
+		from = oldest
+	}
+	if from >= now {
+		return 0, false
+	}
+	frac, ok := e.badFraction(o, from, now)
+	if !ok || budget <= 0 {
+		return 0, false
+	}
+	return frac / budget, true
+}
+
+// Alerts returns the currently firing alerts (stable order) and a
+// bounded history of recently resolved ones.
+func (e *Engine) Alerts() (active, resolved []Alert) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.activeLocked(), append([]Alert(nil), e.resolved...)
+}
+
+func (e *Engine) activeLocked() []Alert {
+	out := make([]Alert, 0, len(e.active))
+	for _, a := range e.active {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SLO != out[j].SLO {
+			return out[i].SLO < out[j].SLO
+		}
+		return out[i].Severity < out[j].Severity
+	})
+	return out
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// seedAvailability appends total/bad counter samples at a 5s cadence:
+// pairs of (total, bad) cumulative values starting at t0.
+func seedAvailability(t *testing.T, db *TSDB, t0 int64, pairs [][2]float64) int64 {
+	t.Helper()
+	ts := t0
+	for _, p := range pairs {
+		if err := db.Append(ts, map[string]float64{"total": p[0], "bad": p[1]}); err != nil {
+			t.Fatal(err)
+		}
+		ts += 5000
+	}
+	return ts - 5000
+}
+
+func availObjective() Objective {
+	return Objective{
+		Name: "avail", Kind: "availability", Goal: 0.999,
+		Bad: []string{"bad"}, Total: []string{"total"}, MinEvents: 10,
+	}
+}
+
+func TestSLOAvailabilityBurnFiresAndResolves(t *testing.T) {
+	db, _ := OpenTSDB("", testTiers())
+	var fired []Alert
+	eng, err := NewEngine(db, []Objective{availObjective()}, func(a Alert) { fired = append(fired, a) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bad phase: 10% of requests rejected — burn 100x a 0.1% budget.
+	pairs := make([][2]float64, 13)
+	for i := range pairs {
+		pairs[i] = [2]float64{float64(100 * i), float64(10 * i)}
+	}
+	last := seedAvailability(t, db, 0, pairs)
+
+	active := eng.Evaluate(last)
+	if len(active) != 2 {
+		t.Fatalf("active = %+v, want page+ticket", active)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("onFire called %d times, want 2", len(fired))
+	}
+	for _, a := range active {
+		if a.SLO != "avail" || a.BurnShort < 14.4 {
+			t.Fatalf("alert = %+v", a)
+		}
+	}
+
+	// Recovery: zero bad growth for longer than the page's short window.
+	good := make([][2]float64, 120)
+	for i := range good {
+		good[i] = [2]float64{1200 + float64(100*i), 120}
+	}
+	last = seedAvailability(t, db, 65_000, good)
+	active = eng.Evaluate(last)
+	for _, a := range active {
+		if a.Severity == "page" {
+			t.Fatalf("page still firing after recovery: %+v", a)
+		}
+	}
+	_, resolved := eng.Alerts()
+	if len(resolved) == 0 {
+		t.Fatal("no resolved alerts recorded")
+	}
+}
+
+func TestSLOMinEventsSuppresses(t *testing.T) {
+	db, _ := OpenTSDB("", testTiers())
+	eng, _ := NewEngine(db, []Objective{availObjective()}, nil)
+	// 100% bad, but only 4 total events — below MinEvents.
+	seedAvailability(t, db, 0, [][2]float64{{0, 0}, {2, 2}, {4, 4}})
+	if active := eng.Evaluate(10_000); len(active) != 0 {
+		t.Fatalf("fired below MinEvents: %+v", active)
+	}
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	db, _ := OpenTSDB("", testTiers())
+	obj := Objective{
+		Name: "lat", Kind: "latency", Goal: 0.99,
+		Series: "p99_seconds", TargetSeconds: 0.5,
+	}
+	eng, _ := NewEngine(db, []Objective{obj}, nil)
+	for i := 0; i < 12; i++ {
+		if err := db.Append(int64(5000*(i+1)), map[string]float64{"p99_seconds": 2.0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	active := eng.Evaluate(60_000)
+	if len(active) == 0 {
+		t.Fatal("latency SLO did not fire with every sample over target")
+	}
+}
+
+func TestSLORateMinActivityGate(t *testing.T) {
+	db, _ := OpenTSDB("", testTiers())
+	obj := Objective{
+		Name: "thr", Kind: "rate_min", Goal: 0.99,
+		Series: "cells_total", RatePerSecond: 10, ActivityGate: "active",
+	}
+	eng, _ := NewEngine(db, []Objective{obj}, nil)
+
+	// Idle: counter flat but gate zero — must not fire.
+	for i := 0; i < 12; i++ {
+		if err := db.Append(int64(5000*(i+1)), map[string]float64{"cells_total": 0, "active": 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if active := eng.Evaluate(60_000); len(active) != 0 {
+		t.Fatalf("rate_min fired while gated off: %+v", active)
+	}
+
+	// Active but slow: gate up, growth far below 10/s — fires.
+	for i := 12; i < 24; i++ {
+		if err := db.Append(int64(5000*(i+1)), map[string]float64{"cells_total": float64(i), "active": 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if active := eng.Evaluate(120_000); len(active) == 0 {
+		t.Fatal("rate_min did not fire while active and slow")
+	}
+}
+
+func TestSLOBurnOverrides(t *testing.T) {
+	obj := availObjective()
+	obj.FastBurn = 1000 // impossible threshold
+	db, _ := OpenTSDB("", testTiers())
+	eng, _ := NewEngine(db, []Objective{obj}, nil)
+	pairs := make([][2]float64, 13)
+	for i := range pairs {
+		pairs[i] = [2]float64{float64(100 * i), float64(10 * i)}
+	}
+	last := seedAvailability(t, db, 0, pairs)
+	for _, a := range eng.Evaluate(last) {
+		if a.Severity == "page" {
+			t.Fatalf("page fired despite FastBurn override: %+v", a)
+		}
+	}
+}
+
+func TestDefaultObjectivesValid(t *testing.T) {
+	for _, o := range DefaultObjectives() {
+		if err := o.Validate(); err != nil {
+			t.Errorf("default objective %q invalid: %v", o.Name, err)
+		}
+	}
+}
+
+func TestLoadObjectives(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "slo.json")
+	os.WriteFile(good, []byte(`{"objectives":[
+		{"name":"a","kind":"availability","goal":0.99,"bad":["b"],"total":["t"]},
+		{"name":"l","kind":"latency","goal":0.9,"series":"s","targetSeconds":0.1}
+	]}`), 0o644)
+	objs, err := LoadObjectives(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 2 {
+		t.Fatalf("len = %d", len(objs))
+	}
+
+	cases := map[string]string{
+		"empty.json":   `{"objectives":[]}`,
+		"badkind.json": `{"objectives":[{"name":"x","kind":"zzz","goal":0.5}]}`,
+		"badgoal.json": `{"objectives":[{"name":"x","kind":"latency","goal":1.5,"series":"s","targetSeconds":1}]}`,
+		"dup.json": `{"objectives":[
+			{"name":"x","kind":"latency","goal":0.9,"series":"s","targetSeconds":1},
+			{"name":"x","kind":"latency","goal":0.9,"series":"s","targetSeconds":1}]}`,
+		"unknown.json": `{"objectives":[{"name":"x","kind":"latency","goal":0.9,"series":"s","targetSeconds":1,"bogus":true}]}`,
+	}
+	for name, body := range cases {
+		p := filepath.Join(dir, name)
+		os.WriteFile(p, []byte(body), 0o644)
+		if _, err := LoadObjectives(p); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+	if _, err := LoadObjectives(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file: no error")
+	}
+}
+
+func TestSLOYoungStoreClampsWindows(t *testing.T) {
+	// A store with one sample cannot evaluate any window.
+	db, _ := OpenTSDB("", testTiers())
+	eng, _ := NewEngine(db, []Objective{availObjective()}, nil)
+	db.Append(time.Now().UnixMilli(), map[string]float64{"total": 5, "bad": 5})
+	if active := eng.Evaluate(time.Now().UnixMilli() + 1000); len(active) != 0 {
+		t.Fatalf("fired on single sample: %+v", active)
+	}
+}

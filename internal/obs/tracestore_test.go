@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func mkTrace(id, endpoint string, status int, durMs float64, unixMs int64, sampled string) *StoredTrace {
+	return &StoredTrace{
+		ID: id, Endpoint: endpoint, Status: status,
+		DurationMs: durMs, UnixMs: unixMs, Sampled: sampled,
+		Trace: &telemetry.TraceJSON{
+			ID:         id,
+			DurationUs: int64(durMs * 1000),
+			Root:       &telemetry.SpanJSON{Name: endpoint, DurationUs: int64(durMs * 1000)},
+		},
+	}
+}
+
+func TestTraceStorePutGetQuery(t *testing.T) {
+	ts, err := OpenTraceStore("", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.Put(mkTrace("aaa", "v1_wcet", 200, 5, 1000, "header"))
+	ts.Put(mkTrace("bbb", "v1_wcet", 200, 250, 2000, "slow"))
+	ts.Put(mkTrace("ccc", "v2_analyze", 500, 30, 3000, "error"))
+
+	if got := ts.Get("bbb"); got == nil || got.Sampled != "slow" {
+		t.Fatalf("Get(bbb) = %+v", got)
+	}
+	if ts.Get("zzz") != nil {
+		t.Fatal("Get(zzz) != nil")
+	}
+
+	all := ts.Query("", 0, 0, 0)
+	if len(all) != 3 || all[0].ID != "ccc" {
+		t.Fatalf("Query all = %+v", all)
+	}
+	if got := ts.Query("v1_wcet", 0, 0, 0); len(got) != 2 {
+		t.Fatalf("endpoint filter = %+v", got)
+	}
+	if got := ts.Query("", 100, 0, 0); len(got) != 1 || got[0].ID != "bbb" {
+		t.Fatalf("min_ms filter = %+v", got)
+	}
+	if got := ts.Query("", 0, 2500, 0); len(got) != 1 || got[0].ID != "ccc" {
+		t.Fatalf("since filter = %+v", got)
+	}
+	if got := ts.Query("", 0, 0, 2); len(got) != 2 {
+		t.Fatalf("limit = %+v", got)
+	}
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	ts, _ := OpenTraceStore("", 16)
+	for i := 0; i < 40; i++ {
+		ts.Put(mkTrace(fmt.Sprintf("id%02d", i), "e", 200, 1, int64(i), "header"))
+	}
+	if ts.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", ts.Len())
+	}
+	if ts.Get("id00") != nil {
+		t.Fatal("oldest trace not evicted")
+	}
+	if ts.Get("id39") == nil {
+		t.Fatal("newest trace missing")
+	}
+}
+
+func TestTraceStorePersistenceAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ts, err := OpenTraceStore(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ts.Put(mkTrace(fmt.Sprintf("id%d", i), "v1_wcet", 200, 10, int64(1000*i), "slow")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate kill -9 (no Close) plus a torn final append.
+	names, _ := filepath.Glob(filepath.Join(dir, "trace-*.jsonl"))
+	if len(names) == 0 {
+		t.Fatal("no segments on disk")
+	}
+	f, _ := os.OpenFile(names[len(names)-1], os.O_WRONLY|os.O_APPEND, 0o644)
+	fmt.Fprint(f, `{"t":9,"d":{"id":"torn"`)
+	f.Close()
+
+	ts2, err := OpenTraceStore(dir, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts2.Len() != 5 {
+		t.Fatalf("replayed %d traces, want 5", ts2.Len())
+	}
+	got := ts2.Get("id3")
+	if got == nil || got.Trace == nil || got.Trace.Root.Name != "v1_wcet" {
+		t.Fatalf("replayed trace = %+v", got)
+	}
+	if ts2.Dropped == 0 {
+		t.Fatal("torn tail not counted in Dropped")
+	}
+	ts2.Close()
+}

@@ -91,7 +91,7 @@ func newResultCache(capacity int, hits, misses, evictions *telemetry.Counter, co
 	}
 	if contention == nil {
 		contention = telemetry.NewRegistry().CounterVec(
-			"wcetd_cache_shard_contention", "private", "shard")
+			"wcetd_cache_shard_contention_total", "private", "shard")
 	}
 	if capacity < 0 {
 		capacity = 0

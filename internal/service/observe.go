@@ -54,7 +54,7 @@ type serverMetrics struct {
 	cacheHits       *telemetry.Counter    // wcetd_cache_hits_total
 	cacheMisses     *telemetry.Counter    // wcetd_cache_misses_total
 	cacheEvictions  *telemetry.Counter    // wcetd_cache_evictions_total
-	cacheContention *telemetry.CounterVec // wcetd_cache_shard_contention{shard}
+	cacheContention *telemetry.CounterVec // wcetd_cache_shard_contention_total{shard}
 	dedup           *telemetry.Counter    // wcetd_dedup_total
 
 	promotes      *telemetry.Counter // wcetd_table_promotes_total
@@ -89,7 +89,7 @@ func newServerMetrics() *serverMetrics {
 			"Result-cache misses (each one schedules an evaluation)."),
 		cacheEvictions: reg.Counter("wcetd_cache_evictions_total",
 			"Result-cache evictions (CLOCK second-chance sweep)."),
-		cacheContention: reg.CounterVec("wcetd_cache_shard_contention",
+		cacheContention: reg.CounterVec("wcetd_cache_shard_contention_total",
 			"Result-cache lock acquisitions that had to wait, by shard.", "shard"),
 		dedup: reg.Counter("wcetd_dedup_total",
 			"Requests that joined an identical in-flight evaluation (singleflight)."),
@@ -124,37 +124,75 @@ func (s *Server) instrument(endpoint string, traceable bool, h http.HandlerFunc)
 			tr = t
 			r = r.WithContext(ctx)
 		}
-		if tr != nil && r.Header.Get(TraceHeader) == "1" {
+		headerRequested := tr != nil && r.Header.Get(TraceHeader) == "1"
+		status := 0
+		if headerRequested {
 			rec := &traceRecorder{header: make(http.Header)}
 			h(rec, r)
 			finished = tr.Finish()
+			status = rec.status
 			s.metrics.traces.Inc()
 			writeTraced(w, rec, tr.ID, finished)
+		} else if tr != nil {
+			// Tail-sampling needs the status even when the client did not
+			// ask for the trace; the recorder passes bytes through
+			// unbuffered, so untraced responses stay byte-identical.
+			rec := &statusRecorder{ResponseWriter: w}
+			h(rec, r)
+			finished = tr.Finish()
+			status = rec.status
 		} else {
 			h(w, r)
-			if tr != nil {
-				finished = tr.Finish()
-			}
 		}
 
 		elapsed := time.Since(start)
+		if finished != nil {
+			s.maybeStoreTrace(endpoint, finished, status, elapsed, headerRequested)
+		}
 		s.metrics.latency.With(endpoint).Observe(elapsed)
 		if s.cfg.SlowRequestThreshold > 0 && elapsed >= s.cfg.SlowRequestThreshold &&
 			endpoint != "v2_stats_stream" && endpoint != "v2_campaign_stream" {
 			s.metrics.slow.Inc()
-			attrs := []any{
-				slog.String("endpoint", endpoint),
-				slog.Duration("elapsed", elapsed),
-			}
-			if finished != nil {
-				attrs = append(attrs, slog.String("traceId", finished.ID))
-				if spans, err := json.Marshal(finished.Root); err == nil {
-					attrs = append(attrs, slog.String("spans", string(spans)))
+			// Attr construction (and the span-tree marshal in particular)
+			// dwarfs the request itself when the threshold is set low, so
+			// skip it entirely when nothing would be emitted.
+			if s.logger.Enabled(r.Context(), slog.LevelWarn) {
+				attrs := []any{
+					slog.String("endpoint", endpoint),
+					slog.Duration("elapsed", elapsed),
 				}
+				if finished != nil {
+					attrs = append(attrs, slog.String("traceId", finished.ID))
+					if spans, err := json.Marshal(finished.Root); err == nil {
+						attrs = append(attrs, slog.String("spans", string(spans)))
+					}
+				}
+				s.logger.Warn("slow request", attrs...)
 			}
-			s.logger.Warn("slow request", attrs...)
 		}
 	}
+}
+
+// statusRecorder captures the response status without buffering; the
+// tail-sampling path needs to know whether a request failed server-side
+// while leaving the bytes on the wire untouched.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
 }
 
 // traceRecorder buffers a traced request's response so the envelope can
@@ -240,11 +278,42 @@ func (s *Server) snapshotStream() streamSnapshot {
 	}
 }
 
+// Stream cadence bounds: the floor keeps a client from turning the
+// snapshot path into a busy loop, the ceiling keeps a typo'd interval
+// (3600000) from producing a stream that looks dead for an hour.
+const (
+	streamIntervalFloor = 100 * time.Millisecond
+	streamIntervalCeil  = 60 * time.Second
+)
+
+// parseStreamInterval validates the ?interval query parameter
+// (milliseconds): empty selects a second; non-numeric or non-positive
+// values are rejected; the result is clamped to [floor, ceiling].
+func parseStreamInterval(q string) (time.Duration, error) {
+	if q == "" {
+		return time.Second, nil
+	}
+	ms, err := strconv.Atoi(q)
+	if err != nil || ms <= 0 {
+		return 0, fmt.Errorf("interval must be a positive millisecond count, got %q", q)
+	}
+	d := time.Duration(ms) * time.Millisecond
+	if d < streamIntervalFloor {
+		d = streamIntervalFloor
+	}
+	if d > streamIntervalCeil {
+		d = streamIntervalCeil
+	}
+	return d, nil
+}
+
 // handleStatsStream serves /v2/stats/stream: an SSE stream of periodic
-// telemetry snapshots. `interval` (milliseconds, default 1000, floor 100)
-// tunes the cadence. The stream ends when the client disconnects or the
-// server begins graceful shutdown — open streams must not hold Shutdown
-// hostage.
+// `event: stats` telemetry snapshots plus `event: alert` frames when an
+// SLO starts burning. `interval` (milliseconds, default 1000, clamped to
+// [100ms, 60s]) tunes the snapshot cadence. On connect, currently firing
+// alerts are replayed as alert frames so a late subscriber still sees the
+// incident. The stream ends when the client disconnects or the server
+// begins graceful shutdown — open streams must not hold Shutdown hostage.
 func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET required"))
@@ -255,17 +324,10 @@ func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
 		return
 	}
-	interval := time.Second
-	if q := r.URL.Query().Get("interval"); q != "" {
-		ms, err := strconv.Atoi(q)
-		if err != nil || ms <= 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("interval must be a positive millisecond count, got %q", q))
-			return
-		}
-		if ms < 100 {
-			ms = 100
-		}
-		interval = time.Duration(ms) * time.Millisecond
+	interval, err := parseStreamInterval(r.URL.Query().Get("interval"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
 	}
 
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -275,19 +337,29 @@ func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
 	s.metrics.streamClients.Add(1)
 	defer s.metrics.streamClients.Add(-1)
 
-	send := func() bool {
-		payload, err := json.Marshal(s.snapshotStream())
+	sendEvent := func(event string, v any) bool {
+		payload, err := json.Marshal(v)
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: stats\ndata: %s\n\n", payload); err != nil {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload); err != nil {
 			return false
 		}
 		fl.Flush()
 		return true
 	}
-	if !send() {
+	if !sendEvent("stats", s.snapshotStream()) {
 		return
+	}
+	alerts, cancelAlerts := s.subscribeAlerts()
+	defer cancelAlerts()
+	// Replay the currently firing alerts so a freshly (re)connected
+	// dashboard shows the banner without waiting for the next transition.
+	active, _ := s.sloEngine.Alerts()
+	for _, a := range active {
+		if !sendEvent("alert", a) {
+			return
+		}
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -297,8 +369,12 @@ func (s *Server) handleStatsStream(w http.ResponseWriter, r *http.Request) {
 			return
 		case <-s.streamDone:
 			return
+		case a := <-alerts:
+			if !sendEvent("alert", a) {
+				return
+			}
 		case <-tick.C:
-			if !send() {
+			if !sendEvent("stats", s.snapshotStream()) {
 				return
 			}
 		}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/calib"
 	"repro/internal/campaign"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/tabstore"
 	"repro/internal/telemetry"
 	"repro/wcet"
@@ -87,9 +88,24 @@ type Config struct {
 	// requests, shutdown summary); nil selects slog.Default().
 	Logger *slog.Logger
 	// EnableOps additionally mounts net/http/pprof under /debug/pprof/
-	// (cmd/wcetd exposes this as -ops). Off by default: profiling
-	// handlers do not belong on an unguarded production surface.
+	// (cmd/wcetd exposes this as -ops) and, when ObsDir is set, runs the
+	// continuous profiler. Off by default: profiling handlers do not
+	// belong on an unguarded production surface.
 	EnableOps bool
+	// ObsDir is the observability persistence root (cmd/wcetd derives it
+	// from -data): metrics history segments, stored traces and captured
+	// profiles live under it. Empty keeps history and traces in bounded
+	// memory only — the APIs work, but nothing survives a restart.
+	ObsDir string
+	// HistoryInterval is the metrics-history sampling cadence; <= 0
+	// selects 5 seconds, and anything under a second is raised to it
+	// (sub-second full-registry snapshots are dashboard poison).
+	HistoryInterval time.Duration
+	// SLOObjectives overrides the built-in SLO set (cmd/wcetd loads it
+	// from -slo-config); nil selects obs.DefaultObjectives.
+	SLOObjectives []obs.Objective
+	// TraceStoreEntries bounds retained traces; <= 0 selects 512.
+	TraceStoreEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +138,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.HistoryInterval <= 0 {
+		c.HistoryInterval = 5 * time.Second
+	}
+	if c.TraceStoreEntries <= 0 {
+		c.TraceStoreEntries = 512
 	}
 	return c
 }
@@ -238,6 +260,30 @@ type Server struct {
 	streamDone chan struct{}
 	streamOnce sync.Once
 
+	// The observability persistence layer: metrics history, SLO engine,
+	// stored traces, and (behind EnableOps+ObsDir) the profiler.
+	history    *obs.TSDB
+	sloEngine  *obs.Engine
+	traceStore *obs.TraceStore
+	profiler   *obs.Profiler
+	started    time.Time
+
+	// alertSubs fans fired SLO alerts out to open SSE streams.
+	alertMu   sync.Mutex
+	alertSubs map[chan obs.Alert]struct{}
+
+	// samplerDone stops the history sampling loop on Shutdown.
+	samplerDone chan struct{}
+	samplerOnce sync.Once
+	samplerWG   sync.WaitGroup
+
+	// slowTrace{Sec,N} implement the per-second budget on tail-sampled
+	// slow-trace stores (see allowSlowTrace). Atomics, not a mutex: this
+	// sits on every request's exit path, where a shared lock would become
+	// a serialization point under saturation.
+	slowTraceSec atomic.Int64
+	slowTraceN   atomic.Int64
+
 	httpSrv *http.Server
 }
 
@@ -297,16 +343,19 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 	}
 	metrics := newServerMetrics()
 	s := &Server{
-		cfg:        cfg,
-		engine:     engine,
-		cache:      newResultCache(cfg.CacheEntries, metrics.cacheHits, metrics.cacheMisses, metrics.cacheEvictions, metrics.cacheContention),
-		analyzer:   analyzer,
-		store:      store,
-		sem:        make(chan struct{}, cfg.MaxInFlight),
-		flights:    make(map[string]*flight),
-		metrics:    metrics,
-		logger:     cfg.Logger,
-		streamDone: make(chan struct{}),
+		cfg:         cfg,
+		engine:      engine,
+		cache:       newResultCache(cfg.CacheEntries, metrics.cacheHits, metrics.cacheMisses, metrics.cacheEvictions, metrics.cacheContention),
+		analyzer:    analyzer,
+		store:       store,
+		sem:         make(chan struct{}, cfg.MaxInFlight),
+		flights:     make(map[string]*flight),
+		metrics:     metrics,
+		logger:      cfg.Logger,
+		streamDone:  make(chan struct{}),
+		started:     time.Now(),
+		alertSubs:   make(map[chan obs.Alert]struct{}),
+		samplerDone: make(chan struct{}),
 	}
 	s.serving.Store(servingID)
 	// The job manager shares the server's engine, so campaign cells and
@@ -331,6 +380,13 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 	metrics.reg.GaugeFunc("wcetd_cache_entries",
 		"Result-cache entries currently resident.",
 		func() float64 { return float64(s.cache.len()) })
+	metrics.reg.Info("wcetd_build_info",
+		"Build identity: module version, Go toolchain, VCS revision.",
+		buildInfoLabels())
+	metrics.reg.GaugeFunc("wcetd_uptime_seconds",
+		"Seconds since this server was constructed.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	s.openObservability()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/wcet", s.instrument("v1_wcet", true, s.handleSingle))
 	mux.HandleFunc("/v1/batch", s.instrument("v1_batch", true, s.handleBatch))
@@ -343,6 +399,10 @@ func New(cfg Config, engine *campaign.Engine) *Server {
 	mux.HandleFunc("/v2/campaigns", s.instrument("v2_campaigns", false, s.handleCampaigns))
 	mux.HandleFunc("/v2/campaigns/", s.routeCampaign)
 	mux.HandleFunc("/v2/stats/stream", s.instrument("v2_stats_stream", false, s.handleStatsStream))
+	mux.HandleFunc("/v2/metrics/history", s.instrument("v2_metrics_history", false, s.handleMetricsHistory))
+	mux.HandleFunc("/v2/alerts", s.instrument("v2_alerts", false, s.handleAlerts))
+	mux.HandleFunc("/v2/traces", s.instrument("v2_traces", false, s.handleTraces))
+	mux.HandleFunc("/v2/traces/", s.instrument("v2_traces", false, s.handleTraceByID))
 	mux.HandleFunc("/v2/dashboard", s.instrument("v2_dashboard", false, s.handleDashboard))
 	mux.HandleFunc("/metrics", s.instrument("metrics", false, s.handleMetrics))
 	mux.HandleFunc("/healthz", s.instrument("healthz", false, s.handleHealth))
@@ -393,6 +453,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if jerr := s.jobs.Close(ctx); err == nil {
 		err = jerr
 	}
+	s.closeObservability()
 	return err
 }
 
@@ -774,9 +835,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.StatsSnapshot())
 }
 
+// healthPayload is the GET /healthz body: liveness plus build identity
+// and uptime, so one probe answers "is it up" and "what is it".
+type healthPayload struct {
+	Status        string `json:"status"`
+	Version       string `json:"version"`
+	GoVersion     string `json:"goVersion"`
+	Revision      string `json:"revision"`
+	UptimeSeconds int64  `json:"uptimeSeconds"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	labels := buildInfoLabels()
+	writeJSON(w, http.StatusOK, healthPayload{
+		Status:        "ok",
+		Version:       labels["version"],
+		GoVersion:     labels["go"],
+		Revision:      labels["revision"],
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+	})
 }
 
 // decodeStatus distinguishes an over-limit body (413) from malformed

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram(nil)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("empty Count/Sum = %d/%g", h.Count(), h.Sum())
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	h.ObserveSeconds(0.5)
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		// A single sample lands in (0.1, 1]; every quantile must resolve
+		// inside that bucket.
+		if got < 0.1 || got > 1 {
+			t.Errorf("Quantile(%g) = %g, want within (0.1, 1]", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01})
+	for i := 0; i < 5; i++ {
+		h.ObserveSeconds(100) // beyond every bound
+	}
+	// The overflow bucket has no finite upper edge; the estimate reports
+	// its lower edge rather than inventing a value.
+	for _, q := range []float64{0.5, 0.99} {
+		if got := h.Quantile(q); got != 0.01 {
+			t.Errorf("Quantile(%g) = %g, want 0.01 (overflow lower edge)", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileBracketsSamples(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 3, 6, 7} {
+		h.ObserveSeconds(v)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 4 {
+		t.Errorf("p50 = %g, want in (0, 4]", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 4 || p99 > 8 {
+		t.Errorf("p99 = %g, want in [4, 8]", p99)
+	}
+	if p99 < p50 {
+		t.Errorf("p99 %g < p50 %g", p99, p50)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot races observers against quantile
+// and exposition readers; run under -race this is the data-race check,
+// and in any mode the invariants (monotone count, sane quantile) hold.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := newHistogram(nil)
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.ObserveSeconds(float64(seed*i%37) * 1e-4)
+			}
+		}(w + 1)
+	}
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := h.Quantile(0.95)
+				if q < 0 {
+					t.Error("negative quantile")
+					return
+				}
+				cum, total := h.cumulative()
+				for i := 1; i < len(cum); i++ {
+					if cum[i] < cum[i-1] {
+						t.Error("cumulative counts not monotone")
+						return
+					}
+				}
+				if total < 0 {
+					t.Error("negative total")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if got := h.Count(); got != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", got, writers*perWriter)
+	}
+}
+
+func TestRegistryInfoMetric(t *testing.T) {
+	r := NewRegistry()
+	r.Info("wcetd_build_info", "Build identity.", map[string]string{
+		"version": "v1.2.3", "go": "go1.22", "revision": "abc123",
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `wcetd_build_info{go="go1.22",revision="abc123",version="v1.2.3"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, out)
+	}
+	if !strings.Contains(out, "# TYPE wcetd_build_info gauge") {
+		t.Fatalf("info metric not typed gauge:\n%s", out)
+	}
+	snap := r.Snapshot()
+	if v := snap[`wcetd_build_info{go="go1.22",revision="abc123",version="v1.2.3"}`]; v != 1 {
+		t.Fatalf("snapshot value = %g, want 1 (snap: %v)", v, snap)
+	}
+}

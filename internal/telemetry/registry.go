@@ -21,13 +21,14 @@ const (
 	kindHistogram
 	kindCounterVec
 	kindHistogramVec
+	kindInfo
 )
 
 func (k kind) String() string {
 	switch k {
 	case kindCounter, kindCounterVec:
 		return "counter"
-	case kindGauge, kindGaugeFunc:
+	case kindGauge, kindGaugeFunc, kindInfo:
 		return "gauge"
 	default:
 		return "histogram"
@@ -46,6 +47,9 @@ type metric struct {
 	hist    *Histogram
 	cvec    *CounterVec
 	hvec    *HistogramVec
+	// info holds the pre-rendered label pairs of an info gauge
+	// (constant 1 with identity labels, e.g. wcetd_build_info).
+	info string
 }
 
 // Registry holds an ordered set of metrics and renders them. Metric
@@ -153,6 +157,22 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 	return v
 }
 
+// Info registers an info-style gauge: a constant 1 whose labels carry
+// identity (build version, go version, vcs revision). Labels render in
+// sorted key order, deterministically.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, labels[k]))
+	}
+	r.register(&metric{name: name, help: help, kind: kindInfo, info: strings.Join(parts, ",")})
+}
+
 // snapshotMetrics returns the registered metrics under the lock, for
 // iteration without holding it (the slice only ever grows).
 func (r *Registry) snapshotMetrics() []*metric {
@@ -191,6 +211,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for _, lv := range m.hvec.values() {
 				writeHistogram(bw, m.name, fmt.Sprintf("%s=%q", m.hvec.label, lv), m.hvec.With(lv))
 			}
+		case kindInfo:
+			fmt.Fprintf(bw, "%s{%s} 1\n", m.name, m.info)
 		}
 	}
 	return bw.Flush()
@@ -239,6 +261,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 			for _, lv := range m.hvec.values() {
 				snapshotHistogram(out, fmt.Sprintf("%s{%s=%q}", m.name, m.hvec.label, lv), m.hvec.With(lv))
 			}
+		case kindInfo:
+			out[fmt.Sprintf("%s{%s}", m.name, m.info)] = 1
 		}
 	}
 	return out

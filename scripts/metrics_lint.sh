@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# metrics_lint.sh — static check of metric naming conventions.
+#
+# Scans every non-test .go file for telemetry registrations (calls on a
+# registry receiver: telemetry.Default(), reg, *.reg) and enforces the
+# Prometheus naming rules this repo follows:
+#
+#   * counters end in _total
+#   * histograms carry a base-unit suffix (_seconds or _bytes)
+#   * gauges do NOT end in _total (that suffix promises monotonicity)
+#   * info metrics end in _info
+#   * every name is lower_snake_case: [a-z][a-z0-9_]*
+#
+# Exit 0 when clean; prints one line per violation and exits 1 otherwise.
+# CI runs this in the build job; `make lint` runs it locally.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+violation() {
+  echo "metrics-lint: $1" >&2
+  fail=1
+}
+
+# Registration sites: <file>:<line>:<kind>:<name>. The receiver filter
+# (Default()/reg) keeps logger.Info(...) calls out of the Info matches.
+sites=$(grep -rn --include='*.go' --exclude='*_test.go' \
+  -E '(telemetry\.Default\(\)|[[:alnum:]_.]*reg)\.(Counter|CounterVec|Gauge|GaugeFunc|Histogram|HistogramVec|Info)\("[^"]+"' . \
+  | sed -E 's#^\./(.+):([0-9]+):.*\.(Counter|CounterVec|Gauge|GaugeFunc|Histogram|HistogramVec|Info)\("([^"]+)".*#\1:\2:\3:\4#' \
+  | grep -E '^[^:]+:[0-9]+:[A-Za-z]+:' || true)
+
+if [ -z "$sites" ]; then
+  echo "metrics-lint: found no metric registrations — the scan pattern is broken" >&2
+  exit 1
+fi
+
+count=0
+while IFS=: read -r file line kind name; do
+  count=$((count + 1))
+  where="$file:$line"
+
+  if ! printf '%s' "$name" | grep -qE '^[a-z][a-z0-9_]*$'; then
+    violation "$where: $kind \"$name\" is not lower_snake_case"
+    continue
+  fi
+
+  case "$kind" in
+  Counter | CounterVec)
+    case "$name" in
+    *_total) ;;
+    *) violation "$where: counter \"$name\" must end in _total" ;;
+    esac
+    ;;
+  Histogram | HistogramVec)
+    case "$name" in
+    *_seconds | *_bytes) ;;
+    *) violation "$where: histogram \"$name\" needs a base-unit suffix (_seconds or _bytes)" ;;
+    esac
+    ;;
+  Gauge | GaugeFunc)
+    case "$name" in
+    *_total) violation "$where: gauge \"$name\" must not end in _total (reserved for counters)" ;;
+    esac
+    ;;
+  Info)
+    case "$name" in
+    *_info) ;;
+    *) violation "$where: info metric \"$name\" must end in _info" ;;
+    esac
+    ;;
+  esac
+done <<<"$sites"
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "metrics-lint: OK ($count registrations checked)"

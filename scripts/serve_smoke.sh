@@ -13,6 +13,11 @@
 # the job resumes from its checkpoint, finishes, and serves an artifact
 # byte-identical to `cmd/experiments -only sweep -json` for the same grid.
 #
+# A third phase exercises the observability layer: metrics history fills
+# and is queryable, a traced request's stored trace is retrievable by ID,
+# an induced latency SLO burn (nanosecond target) produces an `event:
+# alert` SSE frame, and both history and traces survive SIGKILL + restart.
+#
 # `make serve-smoke` and CI's wcetd-smoke job both run exactly this.
 set -euo pipefail
 
@@ -152,7 +157,7 @@ curl -fsS -X POST "http://$ADDR/v1/wcet" -d '{
   "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
 }' >/dev/null
 metrics=$(curl -fsS "http://$ADDR/metrics")
-for series in wcetd_requests_total wcetd_cache_hits_total wcetd_cache_shard_contention \
+for series in wcetd_requests_total wcetd_cache_hits_total wcetd_cache_shard_contention_total \
               solver_warm_starts_total solver_ilp_solves_total solver_bb_workers \
               solver_bb_steals_total analyzer_estimates_total campaign_cells_total; do
   if ! echo "$metrics" | grep -q "^# TYPE $series "; then
@@ -209,8 +214,8 @@ if [ "$bb_workers" != "2" ]; then
   echo "serve-smoke: solver_bb_workers = '$bb_workers', want 2" >&2
   exit 1
 fi
-if ! echo "$metrics" | grep -q '^wcetd_cache_shard_contention{shard="0"}'; then
-  echo "serve-smoke: /metrics missing per-shard wcetd_cache_shard_contention series" >&2
+if ! echo "$metrics" | grep -q '^wcetd_cache_shard_contention_total{shard="0"}'; then
+  echo "serve-smoke: /metrics missing per-shard wcetd_cache_shard_contention_total series" >&2
   exit 1
 fi
 
@@ -368,6 +373,114 @@ if ! cmp -s "$WORK/artifact.json" "$WORK/reference.json"; then
 fi
 
 echo "serve-smoke: campaign daemon graceful shutdown"
+kill -TERM "$PID"
+wait "$PID"
+
+# --- Phase 3: observability — history, traces, SLO burn, kill -9 ---------
+# A daemon over the same persistent -data dir with a fast sampling cadence
+# and one deliberately impossible latency SLO: a nanosecond p99 target the
+# very first real request violates, so the burn-rate alert fires
+# deterministically within a few evaluation ticks.
+SLO_CFG="$WORK/slo_smoke.json"
+cat >"$SLO_CFG" <<'EOF'
+{
+  "objectives": [
+    {
+      "name": "smoke-latency",
+      "kind": "latency",
+      "goal": 0.99,
+      "series": "wcetd_request_seconds{endpoint=\"v1_wcet\"}_p99",
+      "targetSeconds": 0.000000001
+    }
+  ]
+}
+EOF
+
+echo "serve-smoke: observability daemon"
+"$BIN" -addr "$ADDR" -data "$DATA" -history-interval 200ms -slo-config "$SLO_CFG" &
+PID=$!
+wait_health "$PID"
+
+echo "serve-smoke: traced request stored and retrievable by id"
+curl -fsS -D "$WORK/obs_headers" -X POST "http://$ADDR/v1/wcet" \
+  -H 'X-Wcet-Trace: 1' -d '{
+  "scenario": 1,
+  "analysed":   {"CCNT": 157800, "PS": 18000, "DS": 27000, "PM": 3000},
+  "contenders": [{"CCNT": 500000, "PS": 50000, "DS": 60000, "PM": 8000}]
+}' >/dev/null
+TRACE_ID=$(grep -i '^X-Wcet-Trace-Id:' "$WORK/obs_headers" | tr -d '\r' | awk '{print $2}')
+if [ -z "$TRACE_ID" ]; then
+  echo "serve-smoke: traced response missing X-Wcet-Trace-Id header" >&2
+  exit 1
+fi
+stored=$(curl -fsS "http://$ADDR/v2/traces/$TRACE_ID")
+echo "$stored" | grep -q '"sampled": "header"'
+echo "$stored" | grep -q '"endpoint": "v1_wcet"'
+# ...and the search endpoint lists it.
+curl -fsS "http://$ADDR/v2/traces?endpoint=v1_wcet" | grep -q "\"id\": \"$TRACE_ID\""
+
+echo "serve-smoke: metrics history fills"
+points=0
+for _ in $(seq 1 100); do
+  hist=$(curl -fsS "http://$ADDR/v2/metrics/history?series=wcetd_requests_total*")
+  points=$(echo "$hist" | grep -c '"t":' || true)
+  if [ "$points" -ge 2 ]; then
+    break
+  fi
+  sleep 0.1
+done
+if [ "$points" -lt 2 ]; then
+  echo "serve-smoke: /v2/metrics/history stayed empty ($points points):" >&2
+  echo "$hist" >&2
+  exit 1
+fi
+# The history listing names the request counter family.
+curl -fsS "http://$ADDR/v2/metrics/history" | grep -q '"wcetd_requests_total'
+
+echo "serve-smoke: induced SLO burn fires"
+fired=""
+for _ in $(seq 1 150); do
+  fired=$(curl -fsS "http://$ADDR/v2/alerts")
+  if echo "$fired" | grep -q '"slo": "smoke-latency"'; then
+    break
+  fi
+  sleep 0.1
+done
+if ! echo "$fired" | grep -q '"slo": "smoke-latency"'; then
+  echo "serve-smoke: latency SLO never fired:" >&2
+  echo "$fired" >&2
+  exit 1
+fi
+# The stats stream replays active alerts on connect, so a fresh
+# subscriber must see an `event: alert` frame immediately.
+(curl -fsS -m 3 -N "http://$ADDR/v2/stats/stream?interval=100" 2>/dev/null || true) \
+  >"$WORK/obs_stream.txt"
+if ! grep -q '^event: alert' "$WORK/obs_stream.txt"; then
+  echo "serve-smoke: stats stream carried no alert frame:" >&2
+  head -20 "$WORK/obs_stream.txt" >&2
+  exit 1
+fi
+grep -A1 '^event: alert' "$WORK/obs_stream.txt" | grep -q 'smoke-latency'
+
+echo "serve-smoke: observability kill -9 + restart preserves history and traces"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+# The restart samples only once an hour, so everything it serves below
+# was replayed from the checksummed on-disk segments, not re-collected.
+"$BIN" -addr "$ADDR" -data "$DATA" -history-interval 1h &
+PID=$!
+wait_health "$PID"
+hist2=$(curl -fsS "http://$ADDR/v2/metrics/history?series=wcetd_requests_total*")
+points2=$(echo "$hist2" | grep -c '"t":' || true)
+if [ "$points2" -lt 2 ]; then
+  echo "serve-smoke: restarted daemon replayed only $points2 history points:" >&2
+  echo "$hist2" >&2
+  exit 1
+fi
+restored_trace=$(curl -fsS "http://$ADDR/v2/traces/$TRACE_ID")
+echo "$restored_trace" | grep -q '"sampled": "header"'
+
+echo "serve-smoke: observability daemon graceful shutdown"
 kill -TERM "$PID"
 wait "$PID"
 
